@@ -1,0 +1,93 @@
+/// \file bench_fig6_runtime.cpp
+/// \brief Regenerates paper Fig. 6: total execution time per use case,
+/// Why-Not baseline vs NedExplain.
+///
+/// Expected shape: NedExplain at or below the baseline on every use case
+/// (the baseline always evaluates the whole workflow up front and re-derives
+/// successor sets per piece, mirroring its per-manipulation lineage queries;
+/// NedExplain prunes through compatible sets and terminates early).
+/// Aggregation/union cases are skipped for the baseline (n.a. in Table 5).
+
+#include <algorithm>
+#include <iostream>
+
+#include "baseline/whynot_baseline.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/nedexplain.h"
+#include "datasets/use_cases.h"
+
+namespace {
+
+/// Median wall time in ms over `reps` runs of `fn`.
+template <typename Fn>
+double MedianMs(int reps, Fn&& fn) {
+  std::vector<double> times;
+  for (int i = 0; i < reps; ++i) {
+    ned::Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  using namespace ned;
+
+  auto registry_result = UseCaseRegistry::Build();
+  if (!registry_result.ok()) {
+    std::cerr << registry_result.status().ToString() << "\n";
+    return 1;
+  }
+  const UseCaseRegistry registry = std::move(registry_result).value();
+  constexpr int kReps = 7;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const UseCase& uc : registry.use_cases()) {
+    auto tree_result = registry.BuildTree(uc);
+    if (!tree_result.ok()) continue;
+    QueryTree tree = std::move(tree_result).value();
+    const Database& db = registry.database(uc.db_name);
+
+    auto baseline = WhyNotBaseline::Create(&tree, &db);
+    auto engine = NedExplainEngine::Create(&tree, &db);
+    if (!baseline.ok() || !engine.ok()) continue;
+
+    bool baseline_supported = true;
+    {
+      auto probe = baseline->Explain(uc.question);
+      baseline_supported = probe.ok() && probe->supported;
+    }
+    double baseline_ms = 0;
+    if (baseline_supported) {
+      baseline_ms = MedianMs(kReps, [&] {
+        auto r = baseline->Explain(uc.question);
+        NED_CHECK(r.ok());
+      });
+    }
+    double ned_ms = MedianMs(kReps, [&] {
+      auto r = engine->Explain(uc.question);
+      NED_CHECK(r.ok());
+    });
+
+    char b1[32], b2[32], b3[32];
+    if (baseline_supported) {
+      std::snprintf(b1, sizeof(b1), "%.3f", baseline_ms);
+      std::snprintf(b3, sizeof(b3), "%.2fx", baseline_ms / std::max(ned_ms, 1e-9));
+    } else {
+      std::snprintf(b1, sizeof(b1), "n.a.");
+      std::snprintf(b3, sizeof(b3), "-");
+    }
+    std::snprintf(b2, sizeof(b2), "%.3f", ned_ms);
+    rows.push_back({uc.name, b1, b2, b3});
+  }
+
+  std::cout << "== Fig. 6: execution time (ms, median of " << kReps
+            << ") ==\n";
+  std::cout << RenderTable({"Use case", "Why-Not", "NedExplain", "speedup"},
+                           rows);
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file bench_scaling_dbsize.cpp
+/// \brief Ablation A: runtime vs database scale factor (the paper defers a
+/// parameter-impact study to future work; this bench provides it).
+///
+/// Scales the crime database 1x..16x and measures NedExplain and the Why-Not
+/// baseline on representative use cases. Expected shape: both grow roughly
+/// linearly with the dominant intermediate result; the baseline grows faster
+/// (its per-manipulation lineage re-derivation pays per output tuple).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/whynot_baseline.h"
+#include "core/nedexplain.h"
+#include "datasets/use_cases.h"
+
+namespace {
+
+using namespace ned;
+
+/// Builds (once per scale) the registry and a use case's tree.
+struct ScaledCase {
+  std::shared_ptr<UseCaseRegistry> registry;
+  std::shared_ptr<QueryTree> tree;
+  const UseCase* use_case = nullptr;
+  const Database* db = nullptr;
+};
+
+ScaledCase MakeCase(const std::string& name, int scale) {
+  static std::map<std::pair<std::string, int>, ScaledCase> cache;
+  auto key = std::make_pair(name, scale);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  ScaledCase c;
+  auto registry = UseCaseRegistry::Build(scale);
+  NED_CHECK(registry.ok());
+  c.registry = std::make_shared<UseCaseRegistry>(std::move(registry).value());
+  auto uc = c.registry->Find(name);
+  NED_CHECK(uc.ok());
+  c.use_case = *uc;
+  auto tree = c.registry->BuildTree(*c.use_case);
+  NED_CHECK(tree.ok());
+  c.tree = std::make_shared<QueryTree>(std::move(tree).value());
+  c.db = &c.registry->database(c.use_case->db_name);
+  cache[key] = c;
+  return c;
+}
+
+void BM_NedExplain_CrimeScale(benchmark::State& state) {
+  ScaledCase c = MakeCase("Crime1", static_cast<int>(state.range(0)));
+  auto engine = NedExplainEngine::Create(c.tree.get(), c.db);
+  NED_CHECK(engine.ok());
+  for (auto _ : state) {
+    auto result = engine->Explain(c.use_case->question);
+    NED_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.detailed.size());
+  }
+  state.SetLabel("rows=" + std::to_string(c.db->TotalRows()));
+}
+BENCHMARK(BM_NedExplain_CrimeScale)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WhyNotBaseline_CrimeScale(benchmark::State& state) {
+  ScaledCase c = MakeCase("Crime1", static_cast<int>(state.range(0)));
+  auto baseline = WhyNotBaseline::Create(c.tree.get(), c.db);
+  NED_CHECK(baseline.ok());
+  for (auto _ : state) {
+    auto result = baseline->Explain(c.use_case->question);
+    NED_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.size());
+  }
+  state.SetLabel("rows=" + std::to_string(c.db->TotalRows()));
+}
+BENCHMARK(BM_WhyNotBaseline_CrimeScale)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NedExplain_GovScale(benchmark::State& state) {
+  ScaledCase c = MakeCase("Gov5", static_cast<int>(state.range(0)));
+  auto engine = NedExplainEngine::Create(c.tree.get(), c.db);
+  NED_CHECK(engine.ok());
+  for (auto _ : state) {
+    auto result = engine->Explain(c.use_case->question);
+    NED_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.detailed.size());
+  }
+  state.SetLabel("rows=" + std::to_string(c.db->TotalRows()));
+}
+BENCHMARK(BM_NedExplain_GovScale)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

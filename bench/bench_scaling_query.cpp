@@ -1,0 +1,101 @@
+/// \file bench_scaling_query.cpp
+/// \brief Ablation B: runtime vs query depth (join-chain length) and vs the
+/// size of the direct compatible set |Dir_tc|.
+///
+/// Synthetic chain schema R0(k0,k1), R1(k1,k2), ..., R_{d}(k_d, k_{d+1}, v):
+/// the query joins the whole chain and the question asks for a value of v
+/// that a selection removed. Depth drives the number of subqueries |Q| (the
+/// complexity bound O(|Q|(L+Out)) of Sec. 3.2); |Dir| drives the number of
+/// traced compatibles.
+
+#include <benchmark/benchmark.h>
+
+#include "canonical/canonicalizer.h"
+#include "core/nedexplain.h"
+
+namespace {
+
+using namespace ned;
+
+struct ChainWorkload {
+  std::shared_ptr<Database> db;
+  std::shared_ptr<QueryTree> tree;
+  WhyNotQuestion question;
+};
+
+/// Chain of `depth` relations with `rows` rows each; `dir_rows` of the last
+/// relation match the why-not value.
+ChainWorkload MakeChain(int depth, int rows, int dir_rows) {
+  static std::map<std::tuple<int, int, int>, ChainWorkload> cache;
+  auto key = std::make_tuple(depth, rows, dir_rows);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  ChainWorkload w;
+  w.db = std::make_shared<Database>();
+  QueryBlock block;
+  for (int i = 0; i < depth; ++i) {
+    std::string name = "R" + std::to_string(i);
+    Schema schema({{name, "k" + std::to_string(i)},
+                   {name, "k" + std::to_string(i + 1)},
+                   {name, "v"}});
+    Relation rel(name, schema);
+    for (int r = 0; r < rows; ++r) {
+      int64_t tagged = (i == depth - 1 && r < dir_rows) ? 1 : 0;
+      rel.AddRow({Value::Int(r), Value::Int(r), Value::Int(tagged)});
+    }
+    NED_CHECK(w.db->AddRelation(std::move(rel)).ok());
+    block.tables.push_back({name, name});
+    if (i > 0) {
+      std::string prev = "R" + std::to_string(i - 1);
+      std::string join_attr = "k" + std::to_string(i);
+      block.joins.push_back({Attribute(prev, join_attr),
+                             Attribute(name, join_attr), join_attr + "_j"});
+    }
+  }
+  // The selection removes exactly the tagged rows: the why-not question asks
+  // for them, so the selection is the picky subquery.
+  std::string last = "R" + std::to_string(depth - 1);
+  block.selections.push_back(Eq(Col(last, "v"), Lit(static_cast<int64_t>(0))));
+  block.projection = {Attribute(last, "v")};
+  auto tree = Canonicalize(QuerySpec{{block}, {}, {}}, *w.db);
+  NED_CHECK(tree.ok());
+  w.tree = std::make_shared<QueryTree>(std::move(tree).value());
+
+  CTuple tc;
+  tc.Add(last + ".v", Value::Int(1));
+  w.question = WhyNotQuestion(std::move(tc));
+  cache[key] = w;
+  return w;
+}
+
+void BM_NedExplain_QueryDepth(benchmark::State& state) {
+  ChainWorkload w = MakeChain(static_cast<int>(state.range(0)), 2000, 64);
+  auto engine = NedExplainEngine::Create(w.tree.get(), w.db.get());
+  NED_CHECK(engine.ok());
+  for (auto _ : state) {
+    auto result = engine->Explain(w.question);
+    NED_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->answer.condensed.size());
+  }
+  state.SetLabel("subqueries=" + std::to_string(w.tree->size()));
+}
+BENCHMARK(BM_NedExplain_QueryDepth)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NedExplain_DirSize(benchmark::State& state) {
+  ChainWorkload w = MakeChain(4, 4000, static_cast<int>(state.range(0)));
+  auto engine = NedExplainEngine::Create(w.tree.get(), w.db.get());
+  NED_CHECK(engine.ok());
+  for (auto _ : state) {
+    auto result = engine->Explain(w.question);
+    NED_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->dir_total);
+  }
+}
+BENCHMARK(BM_NedExplain_DirSize)->Arg(1)->Arg(16)->Arg(128)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

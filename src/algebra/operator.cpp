@@ -1,0 +1,149 @@
+#include "algebra/operator.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan: return "scan";
+    case OpKind::kSelect: return "select";
+    case OpKind::kProject: return "project";
+    case OpKind::kJoin: return "join";
+    case OpKind::kUnion: return "union";
+    case OpKind::kDifference: return "difference";
+    case OpKind::kAggregate: return "aggregate";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "sum";
+    case AggFn::kCount: return "count";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeScan(std::string alias,
+                                                     std::string base_table) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kScan;
+  node->alias = std::move(alias);
+  node->base_table = std::move(base_table);
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeSelect(
+    std::unique_ptr<OperatorNode> child, ExprPtr predicate) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kSelect;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeProject(
+    std::unique_ptr<OperatorNode> child, std::vector<Attribute> attrs) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kProject;
+  node->projection = std::move(attrs);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeJoin(
+    std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+    Renaming renaming, ExprPtr extra_predicate) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kJoin;
+  node->renaming = std::move(renaming);
+  node->extra_predicate = std::move(extra_predicate);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeUnion(
+    std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+    Renaming renaming) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kUnion;
+  node->renaming = std::move(renaming);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeDifference(
+    std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+    Renaming renaming) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kDifference;
+  node->renaming = std::move(renaming);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<OperatorNode> OperatorNode::MakeAggregate(
+    std::unique_ptr<OperatorNode> child, std::vector<Attribute> group_by,
+    std::vector<AggCall> aggregates) {
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kAggregate;
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::string OperatorNode::Describe() const {
+  switch (kind) {
+    case OpKind::kScan:
+      return alias == base_table ? "scan " + base_table
+                                 : "scan " + base_table + " as " + alias;
+    case OpKind::kSelect:
+      return "sigma " + (predicate ? predicate->ToString() : "true");
+    case OpKind::kProject: {
+      std::vector<std::string> names;
+      for (const auto& a : projection) names.push_back(a.FullName());
+      return "pi " + Join(names, ",");
+    }
+    case OpKind::kJoin: {
+      std::vector<std::string> keys;
+      for (const auto& t : renaming.triples()) keys.push_back(t.anew);
+      std::string s = "join " + Join(keys, ",");
+      if (extra_predicate) s += " on " + extra_predicate->ToString();
+      return s;
+    }
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kDifference:
+      return "difference";
+    case OpKind::kAggregate: {
+      std::vector<std::string> groups, calls;
+      for (const auto& g : group_by) groups.push_back(g.FullName());
+      for (const auto& a : aggregates) calls.push_back(a.ToString());
+      return "alpha {" + Join(groups, ",") + "},{" + Join(calls, ",") + "}";
+    }
+  }
+  return "?";
+}
+
+bool OperatorNode::IsSameOrAncestor(const OperatorNode* node,
+                                    const OperatorNode* maybe_ancestor) {
+  for (const OperatorNode* cur = node; cur != nullptr; cur = cur->parent) {
+    if (cur == maybe_ancestor) return true;
+  }
+  return false;
+}
+
+bool OperatorNode::IsInSubtree(const OperatorNode* node,
+                               const OperatorNode* maybe_descendant) {
+  return IsSameOrAncestor(maybe_descendant, node);
+}
+
+}  // namespace ned

@@ -1,0 +1,122 @@
+/// \file operator.h
+/// \brief Query-tree operator nodes (the paper's subqueries / manipulations).
+///
+/// One node of the standard tree representation corresponds to one subquery
+/// Q_i with its manipulation m_{Q_i} (Sec. 2.4). Nodes own their children;
+/// parent/level/name bookkeeping is filled in by QueryTree::Finalize.
+
+#ifndef NED_ALGEBRA_OPERATOR_H_
+#define NED_ALGEBRA_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/renaming.h"
+#include "expr/expression.h"
+#include "relational/schema.h"
+
+namespace ned {
+
+/// Operator kinds. kDifference extends the paper's query class (its Sec. 5
+/// names set difference as future work); see DESIGN.md for the semantics.
+enum class OpKind { kScan, kSelect, kProject, kJoin, kUnion, kAggregate, kDifference };
+
+const char* OpKindName(OpKind kind);
+
+/// Aggregation functions of Def. 2.2-3.
+enum class AggFn { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregation call `f(A) -> A'`.
+struct AggCall {
+  AggFn fn;
+  Attribute arg;         ///< input attribute A
+  std::string out_name;  ///< fresh unqualified output attribute A'
+
+  std::string ToString() const {
+    return std::string(AggFnName(fn)) + "(" + arg.FullName() + ")->" + out_name;
+  }
+};
+
+/// A node of the query tree. Fields beyond `kind`/`children` are populated
+/// per kind; `name`, `parent`, `level` and `output_schema` are derived by
+/// QueryTree::Finalize.
+class OperatorNode {
+ public:
+  OpKind kind = OpKind::kScan;
+
+  // ---- derived bookkeeping (filled by QueryTree::Finalize) ----
+  std::string name;                 ///< "m0".."mk" in bottom-up order
+  OperatorNode* parent = nullptr;   ///< nullptr at the root
+  int level = 0;                    ///< root has level 0 (paper's TabQ)
+  Schema output_schema;             ///< the subquery's target type
+
+  std::vector<std::unique_ptr<OperatorNode>> children;
+
+  // ---- Scan ----
+  std::string alias;       ///< relation name in S_Q (e.g. "C2")
+  std::string base_table;  ///< eta_Q(alias): stored relation (e.g. "C")
+
+  // ---- Select ----
+  ExprPtr predicate;
+
+  // ---- Project ----
+  std::vector<Attribute> projection;
+
+  // ---- Join / Union ----
+  Renaming renaming;
+  ExprPtr extra_predicate;  ///< residual non-equi join condition (theta)
+
+  // ---- Aggregate ----
+  std::vector<Attribute> group_by;
+  std::vector<AggCall> aggregates;
+
+  /// Marks the breakpoint subquery V / visibility frontier (Sec. 3.1, 2b);
+  /// set by the canonicalizer.
+  bool is_breakpoint = false;
+
+  // ---- factories ----
+  static std::unique_ptr<OperatorNode> MakeScan(std::string alias,
+                                                std::string base_table);
+  static std::unique_ptr<OperatorNode> MakeSelect(
+      std::unique_ptr<OperatorNode> child, ExprPtr predicate);
+  static std::unique_ptr<OperatorNode> MakeProject(
+      std::unique_ptr<OperatorNode> child, std::vector<Attribute> attrs);
+  static std::unique_ptr<OperatorNode> MakeJoin(
+      std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+      Renaming renaming, ExprPtr extra_predicate = nullptr);
+  static std::unique_ptr<OperatorNode> MakeUnion(
+      std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+      Renaming renaming);
+  /// Set difference left \ right; the renaming aligns the operand types as
+  /// for a union. Extension beyond the paper's SPJA+union class.
+  static std::unique_ptr<OperatorNode> MakeDifference(
+      std::unique_ptr<OperatorNode> left, std::unique_ptr<OperatorNode> right,
+      Renaming renaming);
+  static std::unique_ptr<OperatorNode> MakeAggregate(
+      std::unique_ptr<OperatorNode> child, std::vector<Attribute> group_by,
+      std::vector<AggCall> aggregates);
+
+  bool is_leaf() const { return kind == OpKind::kScan; }
+  bool is_binary() const {
+    return kind == OpKind::kJoin || kind == OpKind::kUnion ||
+           kind == OpKind::kDifference;
+  }
+
+  /// Operator-level description: "scan C as C2", "sigma A.dob > 800", ...
+  std::string Describe() const;
+
+  /// True when `maybe_ancestor` is `node` or an ancestor of it.
+  static bool IsSameOrAncestor(const OperatorNode* node,
+                               const OperatorNode* maybe_ancestor);
+  /// True when `maybe_descendant` lies in the subtree rooted at `node`
+  /// (inclusive). "V subquery of m" in Alg. 3 is IsInSubtree(m, V).
+  static bool IsInSubtree(const OperatorNode* node,
+                          const OperatorNode* maybe_descendant);
+};
+
+}  // namespace ned
+
+#endif  // NED_ALGEBRA_OPERATOR_H_

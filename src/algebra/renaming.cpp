@@ -1,0 +1,28 @@
+#include "algebra/renaming.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+Attribute Renaming::Apply(const Attribute& a) const {
+  for (const auto& t : triples_) {
+    if (a == t.a1 || a == t.a2) return Attribute::Unqualified(t.anew);
+  }
+  return a;
+}
+
+std::optional<RenameTriple> Renaming::FindByNewName(const std::string& anew) const {
+  for (const auto& t : triples_) {
+    if (t.anew == anew) return t;
+  }
+  return std::nullopt;
+}
+
+std::string Renaming::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(triples_.size());
+  for (const auto& t : triples_) parts.push_back(t.ToString());
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace ned

@@ -1,0 +1,64 @@
+/// \file renaming.h
+/// \brief Renamings nu (paper Def. 2.1) used by joins and unions.
+///
+/// A renaming is a set of triples (A1, A2, Anew) mapping one attribute of
+/// each operand to a fresh *unqualified* attribute. For a join, each triple
+/// doubles as the equi-join condition A1 = A2 (as in the running example
+/// where (A.aid, AB.aid, aid) both joins and renames). For a union, triples
+/// align the operands' columns under common names.
+
+#ifndef NED_ALGEBRA_RENAMING_H_
+#define NED_ALGEBRA_RENAMING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+
+namespace ned {
+
+/// One (A1, A2, Anew) renaming triple.
+struct RenameTriple {
+  Attribute a1;       ///< attribute from the left operand's type
+  Attribute a2;       ///< attribute from the right operand's type
+  std::string anew;   ///< fresh unqualified attribute name
+
+  std::string ToString() const {
+    return "(" + a1.FullName() + ", " + a2.FullName() + ", " + anew + ")";
+  }
+};
+
+/// A set of renaming triples.
+class Renaming {
+ public:
+  Renaming() = default;
+  explicit Renaming(std::vector<RenameTriple> triples)
+      : triples_(std::move(triples)) {}
+
+  void Add(Attribute a1, Attribute a2, std::string anew) {
+    triples_.push_back({std::move(a1), std::move(a2), std::move(anew)});
+  }
+
+  bool empty() const { return triples_.empty(); }
+  size_t size() const { return triples_.size(); }
+  const std::vector<RenameTriple>& triples() const { return triples_; }
+
+  /// nu(A): maps A to Unqualified(Anew) when A equals some triple's A1 or A2,
+  /// otherwise A itself (Def. 2.1's mapping nu(T)).
+  Attribute Apply(const Attribute& a) const;
+
+  /// The triple introducing unqualified attribute `anew`, if any. Used by
+  /// unrenaming (Def. 2.7) to invert the mapping.
+  std::optional<RenameTriple> FindByNewName(const std::string& anew) const;
+
+  /// "{(A.aid, AB.aid, aid)}".
+  std::string ToString() const;
+
+ private:
+  std::vector<RenameTriple> triples_;
+};
+
+}  // namespace ned
+
+#endif  // NED_ALGEBRA_RENAMING_H_

@@ -1,0 +1,48 @@
+/// \file canonicalizer.h
+/// \brief Canonical query tree construction (paper Sec. 3.1, step 2b).
+///
+/// Two rationales drive the canonical form (quoted from the paper):
+///  1. selections are favored as Why-Not answers over joins, so they are
+///     pushed down -- placed "above and closest to the visibility frontier";
+///  2. for aggregation queries, joins are organised so that a minimal
+///     subquery V (the *breakpoint*) already joins every grouped and
+///     aggregated attribute without cross products, maximising the
+///     subqueries at which the aggregation condition can be verified.
+///
+/// Concretely: without aggregation every leaf is a breakpoint and selections
+/// sit directly above the scans; with aggregation the relations feeding the
+/// aggregation are joined first (a Steiner-style connected cover over the
+/// join graph), V is marked, and selections over V's relations stack right
+/// above it.
+
+#ifndef NED_CANONICAL_CANONICALIZER_H_
+#define NED_CANONICAL_CANONICALIZER_H_
+
+#include <memory>
+
+#include "algebra/query_tree.h"
+#include "canonical/query_spec.h"
+
+namespace ned {
+
+/// Options for ablation experiments.
+struct CanonicalizeOptions {
+  /// When false, selections are NOT pushed toward the visibility frontier;
+  /// they stack at the top of the join tree instead (naive placement). Used
+  /// by the canonicalization ablation bench.
+  bool place_selections_at_frontier = true;
+};
+
+/// Builds the canonical operator tree for one block (no union wrapper).
+Result<std::unique_ptr<OperatorNode>> CanonicalizeBlock(
+    const QueryBlock& block, const Database& db,
+    const CanonicalizeOptions& options = {});
+
+/// Builds the full canonical query tree for a (possibly union) spec and
+/// finalizes it against `db`.
+Result<QueryTree> Canonicalize(const QuerySpec& spec, const Database& db,
+                               const CanonicalizeOptions& options = {});
+
+}  // namespace ned
+
+#endif  // NED_CANONICAL_CANONICALIZER_H_

@@ -1,0 +1,55 @@
+#include "canonical/query_spec.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+std::string QueryBlock::ToString() const {
+  std::string out = "FROM ";
+  std::vector<std::string> t;
+  for (const auto& table : tables) {
+    t.push_back(table.alias == table.table ? table.table
+                                           : table.table + " " + table.alias);
+  }
+  out += Join(t, ", ");
+  if (!joins.empty()) {
+    std::vector<std::string> j;
+    for (const auto& join : joins) {
+      j.push_back(join.left.FullName() + "=" + join.right.FullName() + "->" +
+                  join.out_name);
+    }
+    out += " JOINS " + Join(j, ", ");
+  }
+  if (!selections.empty()) {
+    std::vector<std::string> s;
+    for (const auto& sel : selections) s.push_back(sel->ToString());
+    out += " WHERE " + Join(s, " AND ");
+  }
+  if (agg.has_value()) {
+    std::vector<std::string> g, c;
+    for (const auto& attr : agg->group_by) g.push_back(attr.FullName());
+    for (const auto& call : agg->calls) c.push_back(call.ToString());
+    out += " GROUP {" + Join(g, ",") + "} AGG {" + Join(c, ",") + "}";
+  }
+  if (!projection.empty()) {
+    std::vector<std::string> p;
+    for (const auto& attr : projection) p.push_back(attr.FullName());
+    out += " SELECT " + Join(p, ", ");
+  }
+  return out;
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) {
+      bool except = i - 1 < set_ops.size() &&
+                    set_ops[i - 1] == SetOpKind::kDifference;
+      out += except ? " EXCEPT " : " UNION ";
+    }
+    out += blocks[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ned

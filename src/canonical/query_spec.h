@@ -1,0 +1,77 @@
+/// \file query_spec.h
+/// \brief Logical query description consumed by the canonicalizer.
+///
+/// A QuerySpec is the declarative content of a (union of) SPJA quer(ies):
+/// which relations are read (with aliases), which equi-join predicates link
+/// them (each carrying the renaming's fresh attribute name), the selection
+/// predicates, an optional aggregation, and the projection. It is produced
+/// either by the SQL binder or directly by API users, and turned into the
+/// *canonical query tree* of Sec. 3.1 (step 2b) by Canonicalize().
+
+#ifndef NED_CANONICAL_QUERY_SPEC_H_
+#define NED_CANONICAL_QUERY_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/operator.h"
+#include "expr/expression.h"
+
+namespace ned {
+
+/// A FROM-list entry: stored table `table` read under `alias`.
+struct TableRef {
+  std::string alias;
+  std::string table;
+};
+
+/// An equi-join predicate `left = right` whose renaming triple introduces
+/// `out_name` (Def. 2.1). `left`/`right` are qualified attributes of two
+/// distinct aliases.
+struct JoinSpec {
+  Attribute left;
+  Attribute right;
+  std::string out_name;
+};
+
+/// Aggregation part: GROUP BY attributes plus aggregate calls.
+struct AggSpec {
+  std::vector<Attribute> group_by;
+  std::vector<AggCall> calls;
+};
+
+/// One SELECT block.
+struct QueryBlock {
+  std::vector<TableRef> tables;
+  std::vector<JoinSpec> joins;
+  /// Selection conjuncts (boolean expressions over qualified attributes).
+  std::vector<ExprPtr> selections;
+  std::optional<AggSpec> agg;
+  /// Projection in target order. Attributes may be qualified (possibly
+  /// subject to join renamings, which the canonicalizer resolves) or the
+  /// unqualified outputs of renamings/aggregations. Empty means "all".
+  std::vector<Attribute> projection;
+
+  std::string ToString() const;
+};
+
+/// Set operation connecting adjacent blocks.
+enum class SetOpKind { kUnion, kDifference };
+
+/// A set-operation chain of blocks (left-folded). `set_ops[i]` connects
+/// blocks[i] and blocks[i+1]; missing entries default to union.
+/// `union_names`, when set, gives the output attribute names of the set
+/// operations' renamings (one per projected column); otherwise the first
+/// block's unqualified column names are used.
+struct QuerySpec {
+  std::vector<QueryBlock> blocks;
+  std::vector<SetOpKind> set_ops;
+  std::vector<std::string> union_names;
+
+  std::string ToString() const;
+};
+
+}  // namespace ned
+
+#endif  // NED_CANONICAL_QUERY_SPEC_H_

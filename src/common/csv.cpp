@@ -1,0 +1,111 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ned {
+
+Result<CsvDocument> ParseCsv(const std::string& text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    doc.rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          if (!field.empty()) {
+            return Status::ParseError("quote inside unquoted CSV field");
+          }
+          in_quotes = true;
+          field_started = true;
+          break;
+        case ',':
+          end_field();
+          field_started = true;  // the next field exists even if empty
+          break;
+        case '\r':
+          break;  // tolerate \r\n
+        case '\n':
+          end_row();
+          break;
+        default:
+          field += c;
+          field_started = true;
+      }
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return doc;
+}
+
+namespace {
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+}  // namespace
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      if (NeedsQuoting(row[i])) {
+        out += '"';
+        for (char c : row[i]) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open file for write: " + path);
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to file: " + path);
+}
+
+}  // namespace ned

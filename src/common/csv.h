@@ -1,0 +1,38 @@
+/// \file csv.h
+/// \brief Minimal CSV reader/writer (RFC-4180 quoting subset).
+///
+/// Operates on raw strings; typed conversion happens in the relational layer
+/// (Database::LoadCsv). This replaces the PostgreSQL backend the paper's
+/// implementation used for storing the crime/imdb/gov instances.
+
+#ifndef NED_COMMON_CSV_H_
+#define NED_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ned {
+
+/// A parsed CSV document: first row is typically a header.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Supports double-quoted fields with "" escapes and both
+/// \n and \r\n line endings. Empty trailing line is ignored.
+Result<CsvDocument> ParseCsv(const std::string& text);
+
+/// Serialises rows to CSV text, quoting fields that need it.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, truncating.
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace ned
+
+#endif  // NED_COMMON_CSV_H_

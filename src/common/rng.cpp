@@ -1,0 +1,4 @@
+#include "common/rng.h"
+
+// Header-only; this translation unit exists so the build exercises the header
+// under the project's warning flags.

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace ned {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kTypeError: return "TypeError";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+namespace internal {
+
+void DieCheckFailure(const char* file, int line, const char* expr,
+                     const std::string& msg) {
+  std::cerr << "NED_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) std::cerr << " -- " << msg;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ned

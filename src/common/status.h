@@ -1,0 +1,157 @@
+/// \file status.h
+/// \brief Lightweight error-propagation primitives (Status / Result<T>).
+///
+/// The library does not use exceptions (per the Google C++ style the project
+/// follows). Recoverable failures -- parse errors, unknown attributes, schema
+/// mismatches -- are reported through Status / Result<T>; programming errors
+/// are caught with NED_DCHECK which aborts.
+
+#ifndef NED_COMMON_STATUS_H_
+#define NED_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ned {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success/error outcome with a message. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined behaviour if !ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieCheckFailure(const char* file, int line, const char* expr,
+                                  const std::string& msg);
+}  // namespace internal
+
+/// Hard invariant check, active in all build types.
+#define NED_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ned::internal::DieCheckFailure(__FILE__, __LINE__, #expr, "");       \
+    }                                                                        \
+  } while (0)
+
+#define NED_CHECK_MSG(expr, msg)                                             \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ned::internal::DieCheckFailure(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                        \
+  } while (0)
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define NED_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ned::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define NED_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto NED_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!NED_CONCAT_(_res_, __LINE__).ok())        \
+    return NED_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(NED_CONCAT_(_res_, __LINE__)).value()
+
+#define NED_CONCAT_INNER_(a, b) a##b
+#define NED_CONCAT_(a, b) NED_CONCAT_INNER_(a, b)
+
+}  // namespace ned
+
+#endif  // NED_COMMON_STATUS_H_

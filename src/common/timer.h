@@ -1,0 +1,88 @@
+/// \file timer.h
+/// \brief Wall-clock stopwatch and phase accounting.
+///
+/// NedExplain's evaluation (paper Fig. 5) breaks runtime into four phases:
+/// Initialization, CompatibleFinder, SuccessorsFinder and Bottom-Up traversal.
+/// PhaseTimer accumulates nanoseconds per named phase so the Fig. 5 bench can
+/// print the same distribution.
+
+#ifndef NED_COMMON_TIMER_H_
+#define NED_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ned {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates elapsed time per named phase.
+class PhaseTimer {
+ public:
+  /// RAII scope that charges its lifetime to `phase`.
+  class Scope {
+   public:
+    Scope(PhaseTimer* timer, std::string phase)
+        : timer_(timer), phase_(std::move(phase)) {}
+    ~Scope() {
+      if (timer_ != nullptr) timer_->Add(phase_, watch_.ElapsedNanos());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimer* timer_;
+    std::string phase_;
+    Stopwatch watch_;
+  };
+
+  void Add(const std::string& phase, int64_t nanos) { nanos_[phase] += nanos; }
+
+  /// Total nanoseconds charged to `phase` (0 if never seen).
+  int64_t Nanos(const std::string& phase) const {
+    auto it = nanos_.find(phase);
+    return it == nanos_.end() ? 0 : it->second;
+  }
+
+  /// Sum over all phases.
+  int64_t TotalNanos() const {
+    int64_t total = 0;
+    for (const auto& [_, ns] : nanos_) total += ns;
+    return total;
+  }
+
+  const std::map<std::string, int64_t>& phases() const { return nanos_; }
+  void Reset() { nanos_.clear(); }
+
+ private:
+  std::map<std::string, int64_t> nanos_;
+};
+
+/// Canonical phase names matching paper Fig. 5.
+namespace phase {
+inline constexpr const char kInitialization[] = "Initialization";
+inline constexpr const char kCompatibleFinder[] = "CompatibleFinder";
+inline constexpr const char kSuccessorsFinder[] = "SuccessorsFinder";
+inline constexpr const char kBottomUp[] = "Bottom-Up";
+}  // namespace phase
+
+}  // namespace ned
+
+#endif  // NED_COMMON_TIMER_H_

@@ -1,0 +1,492 @@
+#include "core/nedexplain.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "expr/satisfiability.h"
+
+namespace ned {
+
+// ---------------------------------------------------------------------------
+// Breakpoint view V (Sec. 3.1, 2b)
+// ---------------------------------------------------------------------------
+
+Result<const OperatorNode*> DetermineBreakpoint(const QueryTree& tree) {
+  const OperatorNode* aggregate = nullptr;
+  for (const OperatorNode* node : tree.bottom_up()) {
+    if (node->kind == OpKind::kAggregate) {
+      if (aggregate != nullptr) {
+        return Status::Unsupported(
+            "queries with more than one aggregation are outside the supported "
+            "class (unions of SPJA queries with one aggregate)");
+      }
+      aggregate = node;
+    }
+  }
+  if (aggregate == nullptr) return static_cast<const OperatorNode*>(nullptr);
+
+  // Needed attributes: G union aggregation arguments.
+  Schema needed;
+  for (const auto& g : aggregate->group_by) {
+    if (!needed.Contains(g)) needed.Add(g);
+  }
+  for (const auto& call : aggregate->aggregates) {
+    if (!needed.Contains(call.arg)) needed.Add(call.arg);
+  }
+  // bottom_up() is ordered by decreasing depth, so the first covering node in
+  // the aggregate's subtree is the one closest to the leaves.
+  for (const OperatorNode* node : tree.bottom_up()) {
+    if (!OperatorNode::IsInSubtree(aggregate, node)) continue;
+    if (node->output_schema.ContainsAll(needed)) return node;
+  }
+  return Status::Internal("no subquery covers the aggregation attributes");
+}
+
+namespace {
+
+/// A picky recording: subquery, blocked compatibles, and whether the
+/// aggregation condition flipped from satisfied (input) to violated (output).
+struct PickyRecord {
+  const OperatorNode* node;
+  std::unordered_set<Rid> blocked;
+  /// Dir tuples that still have a valid successor in the node's output.
+  /// Def. 2.11 makes a subquery picky w.r.t. t_I only when *no* valid
+  /// successor of t_I survives, so these are excluded from the detailed
+  /// answer even when one of t_I's traces died here.
+  std::unordered_set<TupleId> surviving_dirs;
+  bool cond_alpha_flip = false;
+};
+
+/// Checks whether `tuples` (typed by `schema`) contain/aggregate-to a row
+/// matching the c-tuple's group fields and satisfying cond-alpha.
+/// `aggregate` supplies G and F when aggregation still needs to be applied.
+Result<bool> SatisfiesCondAlpha(const CondAlpha& ca,
+                                const std::vector<const TraceTuple*>& tuples,
+                                const Schema& schema,
+                                const OperatorNode* aggregate) {
+  if (ca.empty()) return false;
+
+  // Does `schema` already expose the aggregate outputs (we are above alpha)?
+  bool has_agg_outputs = true;
+  for (const auto& [attr, _] : ca.agg_fields) {
+    if (!schema.Contains(attr)) {
+      has_agg_outputs = false;
+      break;
+    }
+  }
+
+  auto row_matches = [&](const Tuple& row, const Schema& row_schema) -> bool {
+    std::map<std::string, Value> bindings;
+    auto check_field = [&](const Attribute& attr, const CValue& cval) -> bool {
+      std::optional<size_t> idx = row_schema.IndexOf(attr);
+      if (!idx.has_value()) return true;  // attribute projected away: skip
+      const Value& v = row.at(*idx);
+      if (!cval.is_var) {
+        return Value::Satisfies(v, CompareOp::kEq, cval.constant);
+      }
+      auto it = bindings.find(cval.var);
+      if (it != bindings.end()) {
+        return Value::Satisfies(it->second, CompareOp::kEq, v);
+      }
+      bindings.emplace(cval.var, v);
+      return true;
+    };
+    for (const auto& [attr, cval] : ca.group_fields) {
+      if (!check_field(attr, cval)) return false;
+    }
+    for (const auto& [attr, cval] : ca.agg_fields) {
+      if (!check_field(attr, cval)) return false;
+    }
+    return SatisfiableWith(ca.cond, bindings);
+  };
+
+  if (has_agg_outputs) {
+    for (const TraceTuple* t : tuples) {
+      if (row_matches(t->values, schema)) return true;
+    }
+    return false;
+  }
+
+  // Below (or at the input of) the aggregate: apply alpha_{G,F} first. The
+  // schema must cover G and the aggregation arguments; otherwise cond-alpha
+  // cannot be verified here.
+  NED_CHECK(aggregate != nullptr);
+  Schema needed;
+  for (const auto& g : aggregate->group_by) {
+    if (!needed.Contains(g)) needed.Add(g);
+  }
+  for (const auto& call : aggregate->aggregates) {
+    if (!needed.Contains(call.arg)) needed.Add(call.arg);
+  }
+  if (!schema.ContainsAll(needed)) return false;
+
+  Schema row_schema;
+  for (const auto& g : aggregate->group_by) row_schema.Add(g);
+  for (const auto& call : aggregate->aggregates) {
+    row_schema.Add(Attribute::Unqualified(call.out_name));
+  }
+  NED_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      ComputeAggregateTuples(aggregate->group_by, aggregate->aggregates,
+                             tuples, schema, row_schema));
+  for (const Tuple& row : rows) {
+    if (row_matches(row, row_schema)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Result<NedExplainEngine> NedExplainEngine::Create(const QueryTree* tree,
+                                                  const Database* db,
+                                                  NedExplainOptions options) {
+  if (tree == nullptr || tree->root() == nullptr) {
+    return Status::InvalidArgument("NedExplainEngine requires a query tree");
+  }
+  NedExplainEngine engine;
+  engine.tree_ = tree;
+  engine.db_ = db;
+  engine.options_ = options;
+  NED_ASSIGN_OR_RETURN(engine.breakpoint_, DetermineBreakpoint(*tree));
+  for (const OperatorNode* node : tree->bottom_up()) {
+    if (node->kind == OpKind::kAggregate) {
+      engine.aggregate_node_ = node;
+      for (const auto& call : node->aggregates) {
+        engine.agg_output_names_.push_back(call.out_name);
+      }
+    }
+  }
+  return engine;
+}
+
+Result<NedExplainResult> NedExplainEngine::Explain(
+    const WhyNotQuestion& question) {
+  NedExplainResult result;
+
+  // -- Initialization: materialise I_Q and unrename the predicate (step 1).
+  std::shared_ptr<QueryInput> input;
+  std::unique_ptr<Evaluator> evaluator;
+  {
+    PhaseTimer::Scope scope(&result.phases, phase::kInitialization);
+    NED_ASSIGN_OR_RETURN(QueryInput built, QueryInput::Build(*tree_, *db_));
+    input = std::make_shared<QueryInput>(std::move(built));
+    evaluator = std::make_unique<Evaluator>(tree_, input.get());
+    NED_ASSIGN_OR_RETURN(result.unrenamed, UnrenameQuestion(*tree_, question));
+  }
+  last_input_ = input;
+
+  // -- One Alg. 1 run per unrenamed c-tuple; the final answer is the union.
+  for (const CTuple& tc : result.unrenamed.ctuples()) {
+    NED_ASSIGN_OR_RETURN(
+        CTupleExplainResult part,
+        ExplainCTuple(tc, input.get(), evaluator.get(), &result.phases));
+    result.dir_total += part.compat.dir.size();
+    result.indir_total += part.compat.indir.size();
+    result.answer.MergeFrom(part.answer);
+    result.per_ctuple.push_back(std::move(part));
+  }
+  return result;
+}
+
+Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
+    const CTuple& tc, QueryInput* input, Evaluator* evaluator,
+    PhaseTimer* phases) {
+  CTupleExplainResult result;
+  result.ctuple = tc;
+
+  // -- CompatibleFinder (step 2a): Dir_tc and InDir_tc.
+  {
+    PhaseTimer::Scope scope(phases, phase::kCompatibleFinder);
+    NED_ASSIGN_OR_RETURN(result.compat,
+                         FindCompatibles(tc, *input, agg_output_names_));
+  }
+  const CompatibleSets& compat = result.compat;
+
+  // -- Initialization (step 2c/2d): TabQ and the secondary structures.
+  TabQ tabq(tree_);
+  std::unordered_set<const OperatorNode*> non_picky;
+  std::vector<const OperatorNode*> empty_output;
+  std::vector<PickyRecord> picky;
+  std::unordered_map<Rid, const TraceTuple*> rid_index;
+  {
+    PhaseTimer::Scope scope(phases, phase::kInitialization);
+    for (const OperatorNode* scan : tree_->scans()) {
+      TabQEntry& entry = tabq.entry_for(scan);
+      NED_ASSIGN_OR_RETURN(const std::vector<TraceTuple>* tuples,
+                           input->AliasTuples(scan->alias));
+      entry.input.reserve(tuples->size());
+      for (const TraceTuple& t : *tuples) {
+        entry.input.push_back(&t);
+        rid_index[t.rid] = &t;
+      }
+      auto it = compat.dir_by_alias.find(scan->alias);
+      if (it != compat.dir_by_alias.end()) {
+        entry.compatibles.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  auto record_picky = [&](const OperatorNode* node,
+                          std::unordered_set<Rid> blocked,
+                          std::unordered_set<TupleId> surviving_dirs,
+                          bool flip) {
+    for (PickyRecord& rec : picky) {
+      if (rec.node == node) {
+        rec.blocked.insert(blocked.begin(), blocked.end());
+        rec.surviving_dirs.insert(surviving_dirs.begin(), surviving_dirs.end());
+        rec.cond_alpha_flip |= flip;
+        return;
+      }
+    }
+    picky.push_back({node, std::move(blocked), std::move(surviving_dirs), flip});
+  };
+
+  // ---- Alg. 1 main loop ----------------------------------------------------
+  bool terminated = false;
+  for (size_t i = 0; i < tabq.size(); ++i) {
+    TabQEntry& entry = tabq.at(i);
+    const OperatorNode* m = entry.node;
+
+    // -- Alg. 2: checkEarlyTermination(m).
+    if (options_.enable_early_termination && i != 0 &&
+        entry.level() != tabq.at(i - 1).level()) {
+      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      bool stop = true;
+      int prev_level = tabq.at(i - 1).level();
+      for (size_t j = i; j-- > 0 && tabq.at(j).level() == prev_level;) {
+        if (non_picky.count(tabq.at(j).node) > 0) {
+          stop = false;
+          break;
+        }
+      }
+      if (stop) {
+        for (size_t k = i; k < tabq.size(); ++k) {
+          if (tabq.at(k).node->is_leaf()) {
+            stop = false;
+            break;
+          }
+        }
+      }
+      if (stop) {
+        terminated = true;
+        result.early_terminated = true;
+        result.terminated_at = m;
+        break;
+      }
+    }
+
+    // -- Evaluate m on its input (Alg. 1 line 8) and maintain the parent's
+    //    entries and the EmptyOutput/Picky managers (lines 9-14).
+    {
+      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      NED_ASSIGN_OR_RETURN(entry.output, evaluator->EvalNode(m));
+      if (m->parent != nullptr) {
+        TabQEntry& parent = tabq.entry_for(m->parent);
+        for (const TraceTuple& t : *entry.output) {
+          parent.input.push_back(&t);
+          rid_index[t.rid] = &t;
+        }
+      }
+      if (entry.output->empty()) {
+        empty_output.push_back(m);
+        if (!entry.compatibles.empty()) {
+          record_picky(m, entry.compatibles, {}, false);
+        }
+      }
+    }
+
+    if (m->is_leaf()) {
+      // Alg. 1 lines 17-20: a base relation passes its compatibles through.
+      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      if (!entry.compatibles.empty()) {
+        TabQEntry& parent = tabq.entry_for(m->parent);
+        parent.compatibles.insert(entry.compatibles.begin(),
+                                  entry.compatibles.end());
+        non_picky.insert(m);
+      }
+      continue;
+    }
+
+    // -- Alg. 3: FindSuccessors(m).
+    {
+      PhaseTimer::Scope scope(phases, phase::kSuccessorsFinder);
+      std::unordered_set<Rid> successors;  // valid successors in m.Output
+      std::unordered_set<Rid> covered;     // compatibles with a successor
+      std::unordered_set<TupleId> surviving_dirs;
+      for (const TraceTuple& o : *entry.output) {
+        // Valid successor of a compatible tuple (Notation 2.1): lineage
+        // within D, touching Dir, derived from a compatible input tuple.
+        if (!BaseSetSubsetOf(o.lineage, compat.all)) continue;
+        if (!BaseSetIntersects(o.lineage, compat.dir)) continue;
+        bool from_compatible = false;
+        for (Rid pred : o.preds) {
+          if (entry.compatibles.count(pred) > 0) {
+            from_compatible = true;
+            covered.insert(pred);
+          }
+        }
+        if (from_compatible) {
+          successors.insert(o.rid);
+          for (TupleId dir_id : BaseSetIntersection(o.lineage, compat.dir)) {
+            surviving_dirs.insert(dir_id);
+          }
+        }
+      }
+
+      std::unordered_set<Rid> blocked;
+      for (Rid c : entry.compatibles) {
+        if (covered.count(c) == 0) blocked.insert(c);
+      }
+      entry.blocked = blocked;
+
+      if (!successors.empty()) {
+        non_picky.insert(m);
+        if (m->parent != nullptr) {
+          TabQEntry& parent = tabq.entry_for(m->parent);
+          parent.compatibles.insert(successors.begin(), successors.end());
+        } else {
+          result.survivors_at_root = successors.size();
+        }
+      }
+
+      // Alg. 3 lines 9-12. Above the breakpoint view V the aggregation
+      // condition governs; we additionally keep blocked recordings above V
+      // (Def. 2.12's first set has no V restriction), which is a documented
+      // strengthening of the pseudocode's literal condition.
+      bool above_v = breakpoint_ != nullptr && m != breakpoint_ &&
+                     OperatorNode::IsInSubtree(m, breakpoint_);
+      if (!above_v) {
+        if (!blocked.empty()) record_picky(m, blocked, surviving_dirs, false);
+      } else {
+        NED_ASSIGN_OR_RETURN(
+            bool in_ok, [&]() -> Result<bool> {
+              // m.Input: union of children outputs; a side satisfies
+              // cond-alpha if its typed tuple set does.
+              for (const auto& child : m->children) {
+                std::vector<const TraceTuple*> side;
+                const std::vector<TraceTuple>* child_out =
+                    tabq.entry_for(child.get()).output;
+                if (child_out == nullptr) continue;
+                for (const TraceTuple& t : *child_out) side.push_back(&t);
+                NED_ASSIGN_OR_RETURN(
+                    bool ok,
+                    SatisfiesCondAlpha(compat.cond_alpha, side,
+                                       child->output_schema, aggregate_node_));
+                if (ok) return true;
+              }
+              return false;
+            }());
+        std::vector<const TraceTuple*> out_tuples;
+        for (const TraceTuple& t : *entry.output) out_tuples.push_back(&t);
+        NED_ASSIGN_OR_RETURN(
+            bool out_ok,
+            SatisfiesCondAlpha(compat.cond_alpha, out_tuples, m->output_schema,
+                               aggregate_node_));
+        if (in_ok && !out_ok) record_picky(m, blocked, surviving_dirs, true);
+        else if (!blocked.empty()) record_picky(m, blocked, surviving_dirs, false);
+      }
+    }
+  }
+  (void)terminated;
+
+  // ---- Derive the detailed answer from PickyMan ----------------------------
+  {
+    PhaseTimer::Scope scope(phases, phase::kBottomUp);
+    for (const PickyRecord& rec : picky) {
+      bool emitted_pair = false;
+      for (Rid b : rec.blocked) {
+        auto it = rid_index.find(b);
+        if (it == rid_index.end()) continue;
+        BaseSet dirs = BaseSetIntersection(it->second->lineage, compat.dir);
+        for (TupleId dir_id : dirs) {
+          // Def. 2.11: the subquery is picky w.r.t. a Dir tuple only when no
+          // valid successor of it survives the subquery.
+          if (rec.surviving_dirs.count(dir_id) > 0) continue;
+          DetailedEntry entry;
+          entry.dir_tuple = dir_id;
+          entry.subquery = rec.node;
+          emitted_pair = true;
+          if (std::find(result.answer.detailed.begin(),
+                        result.answer.detailed.end(),
+                        entry) == result.answer.detailed.end()) {
+            result.answer.detailed.push_back(entry);
+          }
+        }
+      }
+      // A cond-alpha flip without blocked tuples yields the paper's (⊥, Q')
+      // entry (Crime9's (null, m3)); with blocked tuples the concrete pairs
+      // subsume it (Ex. 2.6 reports only (t4, Q3)).
+      if (rec.cond_alpha_flip && !emitted_pair) {
+        DetailedEntry entry;
+        entry.dir_tuple = kInvalidTupleId;
+        entry.subquery = rec.node;
+        if (std::find(result.answer.detailed.begin(),
+                      result.answer.detailed.end(),
+                      entry) == result.answer.detailed.end()) {
+          result.answer.detailed.push_back(entry);
+        }
+      }
+    }
+    result.answer.DeriveCondensed();
+  }
+
+  // ---- Secondary answer (Def. 2.14) ----------------------------------------
+  if (options_.compute_secondary) {
+    PhaseTimer::Scope scope(phases, phase::kBottomUp);
+    // Alias name -> ordinal for lineage-membership tests.
+    std::unordered_map<std::string, uint32_t> ordinal_of;
+    for (uint32_t i = 0; i < input->aliases().size(); ++i) {
+      ordinal_of[input->aliases()[i]] = i;
+    }
+    for (const std::string& alias : compat.indir_aliases) {
+      NED_ASSIGN_OR_RETURN(const std::vector<TraceTuple>* tuples,
+                           input->AliasTuples(alias));
+      if (tuples->empty()) continue;  // no d in I|S to be picky about
+      uint32_t ordinal = ordinal_of.at(alias);
+      const OperatorNode* scan = nullptr;
+      for (const OperatorNode* s : tree_->scans()) {
+        if (s->alias == alias) scan = s;
+      }
+      NED_CHECK(scan != nullptr);
+      const OperatorNode* prev = scan;
+      for (const OperatorNode* m = scan->parent; m != nullptr;
+           prev = m, m = m->parent) {
+        // Data of a difference's right operand is *meant* to vanish there;
+        // the node is not a Def. 2.14 terminator for it.
+        if (m->kind == OpKind::kDifference && m->children[1].get() == prev) {
+          break;
+        }
+        const TabQEntry& entry = tabq.entry_for(m);
+        if (entry.output == nullptr) break;  // traversal stopped earlier
+        bool has_successor = false;
+        for (const TraceTuple& o : *entry.output) {
+          for (TupleId id : o.lineage) {
+            if (TupleIdAlias(id) == ordinal) {
+              has_successor = true;
+              break;
+            }
+          }
+          if (has_successor) break;
+        }
+        if (!has_successor) {
+          if (std::find(result.answer.secondary.begin(),
+                        result.answer.secondary.end(),
+                        m) == result.answer.secondary.end()) {
+            result.answer.secondary.push_back(m);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  if (options_.keep_tabq_dump) result.tabq_dump = tabq.ToString(*input);
+  return result;
+}
+
+}  // namespace ned

@@ -1,0 +1,126 @@
+/// \file nedexplain.h
+/// \brief The NedExplain algorithm (paper Sec. 3, Algorithms 1-3).
+///
+/// Given a query tree, a database instance, and a Why-Not question, the
+/// engine computes detailed, condensed and secondary Why-Not answers
+/// (Defs. 2.12-2.14) by tracing *valid successors* of compatible tuples
+/// bottom-up through the tree, stopping early when no compatible data can
+/// reach the remaining subqueries (Alg. 2).
+///
+/// Phase accounting matches the paper's Fig. 5 split: Initialization
+/// (structures + input materialisation), CompatibleFinder, SuccessorsFinder
+/// (Alg. 3) and Bottom-Up traversal (Alg. 1's loop including operator
+/// evaluation).
+
+#ifndef NED_CORE_NEDEXPLAIN_H_
+#define NED_CORE_NEDEXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/answers.h"
+#include "core/tabq.h"
+#include "whynot/compatible_finder.h"
+#include "whynot/ctuple.h"
+#include "whynot/unrenaming.h"
+
+namespace ned {
+
+/// Tuning knobs, mostly for ablation benchmarks.
+struct NedExplainOptions {
+  /// Alg. 2: stop the traversal once no compatible tuple can be traced
+  /// further. Disable to measure its benefit.
+  bool enable_early_termination = true;
+  /// Compute the secondary answer (Def. 2.14).
+  bool compute_secondary = true;
+  /// Record a Table-2 style TabQ dump per c-tuple (costs formatting time;
+  /// keep off in benchmarks).
+  bool keep_tabq_dump = false;
+};
+
+/// Outcome for a single (unrenamed) c-tuple.
+struct CTupleExplainResult {
+  CTuple ctuple;
+  WhyNotAnswer answer;
+  CompatibleSets compat;
+  bool early_terminated = false;
+  const OperatorNode* terminated_at = nullptr;
+  /// Compatible successors present in the root output: when non-zero the
+  /// asked-for data is arguably *not* missing (the question may be answered
+  /// by an existing result tuple).
+  size_t survivors_at_root = 0;
+  std::string tabq_dump;
+};
+
+/// Outcome for a whole question (union over its c-tuples, per Sec. 2.5).
+struct NedExplainResult {
+  WhyNotAnswer answer;
+  std::vector<CTupleExplainResult> per_ctuple;
+  WhyNotQuestion unrenamed;
+  PhaseTimer phases;
+  size_t dir_total = 0;    ///< |Dir| summed over c-tuples
+  size_t indir_total = 0;  ///< |InDir| summed over c-tuples
+};
+
+/// The NedExplain engine, bound to one (query, database) pair.
+class NedExplainEngine {
+ public:
+  /// Validates the query against the database. The tree must outlive the
+  /// engine. If the query aggregates, the breakpoint view V is derived here
+  /// (lowest subquery whose type covers G and the aggregation arguments)
+  /// unless the canonicalizer already marked one.
+  static Result<NedExplainEngine> Create(const QueryTree* tree,
+                                         const Database* db,
+                                         NedExplainOptions options = {});
+
+  /// Runs NedExplain for `question` (Alg. 1 per unrenamed c-tuple; answers
+  /// are unioned). Each call materialises a fresh input instance and
+  /// evaluation, so timings are independent across calls.
+  Result<NedExplainResult> Explain(const WhyNotQuestion& question);
+
+  /// Convenience overload for single-c-tuple questions.
+  Result<NedExplainResult> Explain(const CTuple& tc) {
+    return Explain(WhyNotQuestion(std::move(tc)));
+  }
+
+  const QueryTree& tree() const { return *tree_; }
+  const Database& db() const { return *db_; }
+  /// The breakpoint view V; nullptr for queries without aggregation.
+  const OperatorNode* breakpoint() const { return breakpoint_; }
+  /// Output names of the aggregation (empty without aggregation).
+  const std::vector<std::string>& agg_output_names() const {
+    return agg_output_names_;
+  }
+
+  /// The most recent Explain call's input instance (valid until the next
+  /// Explain call); used to render answers.
+  const QueryInput& last_input() const { return *last_input_; }
+
+ private:
+  NedExplainEngine() = default;
+
+  Result<CTupleExplainResult> ExplainCTuple(const CTuple& tc,
+                                            QueryInput* input,
+                                            Evaluator* evaluator,
+                                            PhaseTimer* phases);
+
+  const QueryTree* tree_ = nullptr;
+  const Database* db_ = nullptr;
+  NedExplainOptions options_;
+  const OperatorNode* breakpoint_ = nullptr;
+  const OperatorNode* aggregate_node_ = nullptr;
+  std::vector<std::string> agg_output_names_;
+  std::shared_ptr<QueryInput> last_input_;
+};
+
+/// Derives the breakpoint view V for `tree`: the deepest subquery whose
+/// output type contains every group-by attribute and aggregation argument.
+/// Returns nullptr when the tree has no aggregation. Errors when the tree
+/// has more than one aggregate node (outside the paper's query class).
+Result<const OperatorNode*> DetermineBreakpoint(const QueryTree& tree);
+
+}  // namespace ned
+
+#endif  // NED_CORE_NEDEXPLAIN_H_

@@ -1,0 +1,26 @@
+/// \file report.h
+/// \brief Human-readable reports of NedExplain runs (examples & benches).
+
+#ifndef NED_CORE_REPORT_H_
+#define NED_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/nedexplain.h"
+
+namespace ned {
+
+/// Renders a full explanation report: the question, its unrenamed form,
+/// compatible-set sizes, per-c-tuple answers and the merged answer; when the
+/// engine kept TabQ dumps, those are included (Table 1/2 style).
+std::string RenderExplainReport(const NedExplainEngine& engine,
+                                const WhyNotQuestion& question,
+                                const NedExplainResult& result);
+
+/// Renders the phase breakdown of a run: absolute ms and percentages in the
+/// paper's Fig. 5 phase order.
+std::string RenderPhaseBreakdown(const PhaseTimer& phases);
+
+}  // namespace ned
+
+#endif  // NED_CORE_REPORT_H_

@@ -1,0 +1,45 @@
+/// \file suggest.h
+/// \brief Modification-based hints derived from query-based answers.
+///
+/// The paper's conclusion notes that query-based explanations "could further
+/// be used to obtain modification-based explanations" (in the spirit of
+/// ConQueR [20] / top-k why-not [10]); its introduction gives the canonical
+/// example: relaxing `A.dob > 800BC` to `A.dob >= 800BC` makes the missing
+/// Homer tuple appear. This module implements that step: for every blamed
+/// *selection* in a detailed Why-Not answer it computes the minimal
+/// relaxation of the comparison that admits the blocked compatible tuples,
+/// and for blamed *joins* it reports which join-partner values are missing.
+
+#ifndef NED_CORE_SUGGEST_H_
+#define NED_CORE_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/nedexplain.h"
+
+namespace ned {
+
+/// One actionable hint attached to a blamed subquery.
+struct ModificationHint {
+  const OperatorNode* node = nullptr;
+  /// Human-readable suggestion, e.g.
+  /// "relax sigma A.dob > -800 to A.dob >= -800 (admits A.aid:a1)".
+  std::string description;
+  /// For selections: the relaxed predicate that admits the blocked tuples;
+  /// nullptr for join hints (those require data changes, not query changes).
+  ExprPtr relaxed_predicate;
+  /// Dir tuples this hint would admit (display names).
+  std::vector<std::string> admits;
+};
+
+/// Derives hints from `result` (must come from `engine.Explain`; the
+/// engine's last input instance is used to read the blocked tuples' values).
+/// Only simple `attr cop constant` selections yield predicate relaxations;
+/// other blamed operators yield descriptive hints.
+Result<std::vector<ModificationHint>> SuggestModifications(
+    const NedExplainEngine& engine, const NedExplainResult& result);
+
+}  // namespace ned
+
+#endif  // NED_CORE_SUGGEST_H_

@@ -1,0 +1,152 @@
+#include "datasets/crime.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace ned {
+
+Result<Database> BuildCrimeDb(int scale) {
+  NED_CHECK(scale >= 1);
+  Database db;
+  Rng rng(0xC41A5EULL);
+
+  Relation p("P", Schema({{"P", "id"}, {"P", "name"}, {"P", "hair"},
+                          {"P", "clothes"}}));
+  Relation w("W", Schema({{"W", "id"}, {"W", "name"}, {"W", "sector"}}));
+  Relation s("S", Schema({{"S", "id"}, {"S", "witnessName"}, {"S", "hair"},
+                          {"S", "clothes"}}));
+  Relation c("C", Schema({{"C", "id"}, {"C", "type"}, {"C", "sector"}}));
+
+  auto add_p = [&](int64_t id, const char* name, const char* hair,
+                   const char* clothes) {
+    p.AddRow({Value::Int(id), Value::Str(name), Value::Str(hair),
+              Value::Str(clothes)});
+  };
+  auto add_w = [&](int64_t id, const char* name, int64_t sector) {
+    w.AddRow({Value::Int(id), Value::Str(name), Value::Int(sector)});
+  };
+  auto add_s = [&](int64_t id, const char* witness, const char* hair,
+                   const char* clothes) {
+    s.AddRow({Value::Int(id), Value::Str(witness), Value::Str(hair),
+              Value::Str(clothes)});
+  };
+  auto add_c = [&](int64_t id, const char* type, int64_t sector) {
+    c.AddRow({Value::Int(id), Value::Str(type), Value::Int(sector)});
+  };
+
+  // ---- planted persons ------------------------------------------------------
+  // Hair/clothes combinations of planted persons are unique so their join
+  // partners are fully controlled.
+  add_p(CrimeIds::kHank, "Hank", "brown", "jacket");
+  add_p(CrimeIds::kRoger, "Roger", "black", "coat");  // no S row describes this
+  add_p(CrimeIds::kAudrey, "Audrey", "red", "dress");
+  add_p(4, "Chiardola", "red", "dress");
+  add_p(5, "Davemonet", "red", "dress");
+  add_p(6, "Debye", "red", "dress");
+  add_p(CrimeIds::kBetsy, "Betsy", "blond", "scarf");
+  add_p(8, "Alice", "gray", "hat");  // name < 'B': Q4's result is non-empty
+  add_p(9, "Gus", "gray", "cap");    // joins Alice on gray hair
+
+  // ---- planted witnesses / statements / crimes -------------------------------
+  // Wendy described Hank but only witnessed a burglary (sector 50 has no car
+  // theft): Crime1's Hank chains die at the top join.
+  add_w(1, "Wendy", 50);
+  add_s(1, "Wendy", "brown", "jacket");
+  add_c(110, "Burglary", 50);
+
+  // Susan's sector 77 hosts an aiding+burglary pair but no kidnapping:
+  // Crime7's Susan is blocked at the join with the crimes.
+  add_w(2, "Susan", 77);
+  add_c(120, "Aiding", 77);
+  add_c(122, "Burglary", 77);
+  add_c(121, "Aiding", 30);
+
+  // Kidnappings never co-located with aiding crimes (Crime6/7).
+  add_c(CrimeIds::kKidnap1, "Kidnapping", 5);
+  add_c(CrimeIds::kKidnap2, "Kidnapping", 8);
+
+  // Car thefts happen in sectors 10/12, witnessed by Vera/Vic whose
+  // statements describe filler persons -- so car thefts reach the result
+  // (the baseline then deems Crime1/2 "not missing").
+  add_c(CrimeIds::kCarTheft1, "Car theft", 10);
+  add_c(CrimeIds::kCarTheft2, "Car theft", 12);
+  add_w(3, "Vera", 10);
+  add_s(2, "Vera", "hair_1", "cl_1");
+  add_w(4, "Vic", 12);
+  add_s(3, "Vic", "hair_2", "cl_2");
+
+  // Sam connects sector 90 crimes to the red/dress persons.
+  add_w(5, "Sam", 90);
+  add_s(4, "Sam", "red", "dress");
+
+  // Betsy's witnesses: 4 crimes in sector 85 + 3 in sector 90 (> 80) and
+  // 6 in sector 60 give count 13 before the sector>80 filter and 7 after
+  // (Crime9's flip of ct > 8).
+  add_w(6, "Wilma", 85);
+  add_s(5, "Wilma", "blond", "scarf");
+  add_s(6, "Sam", "blond", "scarf");  // Sam also described Betsy (sector 90)
+  add_w(7, "Walt", 60);
+  add_s(7, "Walt", "blond", "scarf");
+  for (int i = 0; i < 4; ++i) add_c(140 + i, "Assault", 85);
+  for (int i = 0; i < 3; ++i) add_c(144 + i, "Fraud", 90);
+  for (int i = 0; i < 6; ++i) add_c(147 + i, "Theft", 60);
+
+  // ---- filler ----------------------------------------------------------------
+  // Filler persons use hair_k/cl_k combinations disjoint from the planted
+  // ones; filler witnesses sit in sectors 20..45 (no planted crimes there),
+  // and filler crimes use neutral types in those sectors so generic chains
+  // exist without touching the planted scenarios. All sectors stay <= 99.
+  // Domains (sectors, hair/clothes categories) grow with the scale factor so
+  // join selectivities -- and with them intermediate result sizes per input
+  // row -- stay roughly constant and runtime scales ~linearly with volume.
+  // Filler sectors widen within [20, 98] (all sectors must stay <= 99 so
+  // Q2's sector > 99 filter stays empty) but skip the planted sectors, which
+  // carry exact counts (Betsy's Crime9 groups).
+  const int n_person = 160 * scale;
+  const int n_witness = 70 * scale;
+  const int n_crime = 220 * scale;
+  const int n_categories = 20 * scale;
+  const int64_t sector_lo = 20;
+  const int64_t sector_hi = std::min<int64_t>(98, 45 + 26L * (scale - 1));
+  auto filler_sector = [&]() -> int64_t {
+    static const int64_t kPlanted[] = {30, 50, 60, 77, 85, 90};
+    while (true) {
+      int64_t sector = rng.UniformInt(sector_lo, sector_hi);
+      bool planted = false;
+      for (int64_t s : kPlanted) planted = planted || s == sector;
+      if (!planted) return sector;
+    }
+  };
+  for (int i = 0; i < n_person; ++i) {
+    int k = static_cast<int>(rng.UniformInt(1, n_categories));
+    std::string name = "Person_" + std::to_string(i);
+    p.AddRow({Value::Int(1000 + i), Value::Str(name),
+              Value::Str("hair_" + std::to_string(k)),
+              Value::Str("cl_" + std::to_string(k))});
+  }
+  for (int i = 0; i < n_witness; ++i) {
+    std::string name = "Witness_" + std::to_string(i);
+    w.AddRow({Value::Int(1000 + i), Value::Str(name), Value::Int(filler_sector())});
+    // Each filler witness described one filler person category.
+    int k = static_cast<int>(rng.UniformInt(1, n_categories));
+    s.AddRow({Value::Int(1000 + i), Value::Str(name),
+              Value::Str("hair_" + std::to_string(k)),
+              Value::Str("cl_" + std::to_string(k))});
+  }
+  static const char* kTypes[] = {"Robbery", "Fraud", "Assault", "Theft",
+                                 "Vandalism"};
+  for (int i = 0; i < n_crime; ++i) {
+    const char* type = kTypes[rng.UniformInt(0, 4)];
+    c.AddRow({Value::Int(10000 + i), Value::Str(type), Value::Int(filler_sector())});
+  }
+
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(p)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(w)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(s)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(c)));
+  return db;
+}
+
+}  // namespace ned

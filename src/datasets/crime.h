@@ -1,0 +1,42 @@
+/// \file crime.h
+/// \brief Synthetic crime database (Trio's sample crime DB stand-in).
+///
+/// Schemas (first column is the key used in displays, per paper footnote 2):
+///   C(id, type, sector)               -- crimes
+///   W(id, name, sector)               -- witnesses
+///   S(id, witnessName, hair, clothes) -- sighting statements
+///   P(id, name, hair, clothes)        -- persons
+///
+/// The generator is deterministic. A small hand-planted core realises the
+/// behaviours the paper's Crime1-Crime10 use cases rely on (a described but
+/// unwitnessed suspect, a never-described person, self-join traps around
+/// aiding/kidnapping crimes, an emptiable sector selection, aggregation
+/// counts that flip across the sector>80 filter); `scale` multiplies the
+/// filler volume for scaling benchmarks without disturbing the core.
+
+#ifndef NED_DATASETS_CRIME_H_
+#define NED_DATASETS_CRIME_H_
+
+#include "relational/database.h"
+
+namespace ned {
+
+/// Planted tuple ids (first-column key values) used by tests and examples.
+struct CrimeIds {
+  static constexpr int64_t kHank = 1;       // P: brown/jacket, described
+  static constexpr int64_t kRoger = 2;      // P: black/coat, never described
+  static constexpr int64_t kAudrey = 3;     // P: red/dress
+  static constexpr int64_t kBetsy = 7;      // P: blond/scarf (Crime9 counts)
+  static constexpr int64_t kCarTheft1 = 100;  // C: sector 10
+  static constexpr int64_t kCarTheft2 = 101;  // C: sector 12
+  static constexpr int64_t kKidnap1 = 130;    // C: sector 5 (no aiding there)
+  static constexpr int64_t kKidnap2 = 131;    // C: sector 8
+};
+
+/// Builds the crime database. All crime sectors are <= 99, so the Q2
+/// selection sector > 99 has an empty result (Crime3-5).
+Result<Database> BuildCrimeDb(int scale = 1);
+
+}  // namespace ned
+
+#endif  // NED_DATASETS_CRIME_H_

@@ -1,0 +1,120 @@
+#include "datasets/gov.h"
+
+#include "common/rng.h"
+
+namespace ned {
+
+Result<Database> BuildGovDb(int scale) {
+  NED_CHECK(scale >= 1);
+  Database db;
+  Rng rng(0x60BULL);
+
+  Relation co("Co", Schema({{"Co", "id"}, {"Co", "firstname"},
+                            {"Co", "lastname"}, {"Co", "Byear"}}));
+  Relation aa("AA", Schema({{"AA", "id"}, {"AA", "party"}, {"AA", "state"}}));
+  Relation spo("SPO", Schema({{"SPO", "id"}, {"SPO", "sponsorId"},
+                              {"SPO", "sponsorln"}, {"SPO", "party"},
+                              {"SPO", "state"}}));
+  Relation es("ES", Schema({{"ES", "id"}, {"ES", "earmarkId"},
+                            {"ES", "sponsorId"}, {"ES", "substage"}}));
+  Relation e("E", Schema({{"E", "id"}, {"E", "earmarkId"}, {"E", "camount"}}));
+
+  auto add_member = [&](int64_t id, const char* first, const char* last,
+                        int64_t byear, const char* party, const char* state) {
+    co.AddRow({Value::Int(id), Value::Str(first), Value::Str(last),
+               Value::Int(byear)});
+    aa.AddRow({Value::Int(id), Value::Str(party), Value::Str(state)});
+  };
+
+  // ---- planted congresspeople -------------------------------------------------
+  add_member(GovIds::kAnderson, "Christopher", "ANDERSON", 1950, "Republican",
+             "TX");
+  add_member(GovIds::kBaker, "Christopher", "BAKER", 1960, "Republican", "OH");
+  add_member(GovIds::kMurphy, "Christopher", "MURPHY", 1975, "Democrat", "CT");
+  add_member(GovIds::kGibson, "Christopher", "GIBSON", 1965, "Republican",
+             "NY");
+  add_member(GovIds::kJohn, "Elton", "JOHN", 1968, "Democrat", "NJ");
+
+  // ---- planted sponsors ---------------------------------------------------------
+  auto add_spo = [&](int64_t id, int64_t sponsor_id, const char* ln,
+                     const char* party, const char* state) {
+    spo.AddRow({Value::Int(id), Value::Int(sponsor_id), Value::Str(ln),
+                Value::Str(party), Value::Str(state)});
+  };
+  auto add_earmark = [&](int64_t es_id, int64_t earmark_id, int64_t sponsor_id,
+                         const char* substage, int64_t e_id, double amount) {
+    es.AddRow({Value::Int(es_id), Value::Int(earmark_id), Value::Int(sponsor_id),
+               Value::Str(substage)});
+    e.AddRow({Value::Int(e_id), Value::Int(earmark_id), Value::Real(amount)});
+  };
+
+  // Sponsor 467 (Craig) is a Democrat: his three Senate-Committee stages lose
+  // their sponsor partner at the join (Gov4).
+  add_spo(GovIds::kCraigSpo, GovIds::kCraigSponsorId, "Craig", "Democrat", "ID");
+  add_earmark(78, 4001, GovIds::kCraigSponsorId, "Senate Committee", 5001, 2500);
+  add_earmark(79, 4002, GovIds::kCraigSponsorId, "Senate Committee", 5002, 1800);
+  add_earmark(80, 4003, GovIds::kCraigSponsorId, "Senate Committee", 5003, 900);
+
+  // Lugar is Republican but sponsored no earmarks at all: both systems
+  // blame the top join for Gov5 (his trace and the >=1000 amounts all die
+  // there).
+  add_spo(GovIds::kLugarSpo, 250, "Lugar", "Republican", "IN");
+
+  // Bennett: Senate-Committee amounts 10000 + 8000, plus a House-Committee
+  // 700 -- pre-filter sum exactly 18700, post-filter 18000 (Gov6's flip of
+  // am = 18700 at the substage selection). The House amount stays below 1000
+  // so it does not enter Gov5's Dir|E.
+  add_spo(GovIds::kBennettSpo, 310, "Bennett", "Republican", "UT");
+  add_earmark(95, 4020, 310, "Senate Committee", 5020, 10000);
+  add_earmark(96, 4021, 310, "Senate Committee", 5021, 8000);
+  add_earmark(97, 4022, 310, "House Committee", 5022, 700);
+
+  // A Democrat NY sponsor so Q11 has results (and none named JOHN -- Gov7's
+  // second disjunct is empty).
+  add_spo(400, 411, "Schumer", "Democrat", "NY");
+  add_earmark(98, 4030, 411, "Senate Committee", 5030, 1200);
+
+  // ---- filler -------------------------------------------------------------------
+  static const char* kFirst[] = {"James", "Mary", "Robert", "Linda", "David"};
+  static const char* kLast[] = {"SMITH", "JONES", "MILLER", "DAVIS", "WILSON",
+                                "MOORE", "TAYLOR", "CLARK", "HALL", "YOUNG"};
+  static const char* kParties[] = {"Republican", "Democrat"};
+  static const char* kStates[] = {"NY", "CA", "TX", "FL", "IL", "PA", "OH"};
+
+  const int n_members = 130 * scale;
+  for (int i = 0; i < n_members; ++i) {
+    add_member(2000 + i, kFirst[rng.UniformInt(0, 4)],
+               kLast[rng.UniformInt(0, 9)],
+               rng.UniformInt(1940, 1985), kParties[rng.UniformInt(0, 1)],
+               kStates[rng.UniformInt(0, 6)]);
+  }
+
+  const int n_sponsors = 150 * scale;
+  const int earmarks_per_sponsor = 14;  // ES ~ 2100*scale, E likewise
+  int64_t next_earmark = 10000;
+  int64_t next_es = 1000, next_e = 20000;
+  for (int i = 0; i < n_sponsors; ++i) {
+    int64_t sponsor_id = 600 + i;
+    add_spo(1000 + i, sponsor_id, kLast[rng.UniformInt(0, 9)],
+            kParties[rng.UniformInt(0, 1)], kStates[rng.UniformInt(0, 6)]);
+    for (int k = 0; k < earmarks_per_sponsor; ++k) {
+      const char* substage = "Senate Committee";
+      // Mostly small amounts, some >= 1000 (those become Gov5's Dir|E).
+      double amount = rng.Chance(0.25)
+                          ? 1000.0 + rng.UniformInt(0, 9000)
+                          : static_cast<double>(rng.UniformInt(50, 999));
+      add_earmark(next_es++, next_earmark, sponsor_id, substage, next_e++,
+                  amount);
+      ++next_earmark;
+    }
+  }
+
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(co)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(aa)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(spo)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(es)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(e)));
+  return db;
+}
+
+}  // namespace ned

@@ -1,0 +1,42 @@
+/// \file gov.h
+/// \brief Synthetic US-government database (bioguide/usaspending/earmarks
+/// extract stand-in).
+///
+/// Schemas:
+///   Co(id, firstname, lastname, Byear)         -- congresspeople
+///   AA(id, party, state)                        -- affiliations (id = Co.id)
+///   SPO(id, sponsorId, sponsorln, party, state) -- earmark sponsors
+///   ES(id, earmarkId, sponsorId, substage)      -- earmark stages
+///   E(id, earmarkId, camount)                   -- earmark amounts
+///
+/// Planted behaviours: four Christophers splitting between the Byear filter
+/// and the affiliation join (Gov1-3); Democrat sponsor 467 whose
+/// Senate-Committee stages lose their partner (Gov4); Lugar whose earmarks
+/// are all < 1000 (Gov5); Bennett whose pre-filter amount sum is exactly
+/// 18700 but drops after the substage filter (Gov6); a Democrat congressman
+/// JOHN from NJ who fails the NY filter, with no sponsor named JOHN (Gov7).
+
+#ifndef NED_DATASETS_GOV_H_
+#define NED_DATASETS_GOV_H_
+
+#include "relational/database.h"
+
+namespace ned {
+
+struct GovIds {
+  static constexpr int64_t kAnderson = 569;   // Christopher ANDERSON, 1950
+  static constexpr int64_t kBaker = 1495;     // Christopher BAKER, 1960
+  static constexpr int64_t kMurphy = 1072;    // Christopher MURPHY, 1975, Dem
+  static constexpr int64_t kGibson = 772;     // Christopher GIBSON, 1965
+  static constexpr int64_t kJohn = 800;       // Elton JOHN, Dem, NJ
+  static constexpr int64_t kCraigSpo = 9;     // SPO id, sponsorId 467, Democrat
+  static constexpr int64_t kCraigSponsorId = 467;
+  static constexpr int64_t kLugarSpo = 199;   // Republican, small earmarks
+  static constexpr int64_t kBennettSpo = 77;  // Republican, sum flips at filter
+};
+
+Result<Database> BuildGovDb(int scale = 1);
+
+}  // namespace ned
+
+#endif  // NED_DATASETS_GOV_H_

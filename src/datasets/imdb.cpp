@@ -1,0 +1,62 @@
+#include "datasets/imdb.h"
+
+#include "common/rng.h"
+
+namespace ned {
+
+Result<Database> BuildImdbDb(int scale) {
+  NED_CHECK(scale >= 1);
+  Database db;
+  Rng rng(0x13DBULL);
+
+  Relation m("M", Schema({{"M", "id"}, {"M", "name"}, {"M", "year"}}));
+  Relation r("R", Schema({{"R", "id"}, {"R", "name"}, {"R", "rating"}}));
+  Relation l("L", Schema({{"L", "id"}, {"L", "movieId"}, {"L", "locationId"}}));
+
+  // ---- planted ---------------------------------------------------------------
+  m.AddRow({Value::Int(ImdbIds::kAvatarMovie), Value::Str("Avatar"),
+            Value::Int(2009)});  // fails year > 2009
+  r.AddRow({Value::Int(ImdbIds::kAvatarRating), Value::Str("Avatar"),
+            Value::Real(8.5)});  // passes rating >= 8
+
+  m.AddRow({Value::Int(ImdbIds::kChristmasMovie), Value::Str("Christmas Story"),
+            Value::Int(2010)});
+  r.AddRow({Value::Int(ImdbIds::kChristmasRating), Value::Str("Christmas Story"),
+            Value::Real(9.0)});
+  l.AddRow({Value::Int(ImdbIds::kChristmasLocation),
+            Value::Int(ImdbIds::kChristmasMovie), Value::Str("CanadaToronto")});
+  // The only USANewYork location belongs to Gotham Nights, which passes
+  // both filters and reaches the result -- so the baseline keeps finding
+  // successors of the location item and deems Imdb2's answer present.
+  m.AddRow({Value::Int(41), Value::Str("Gotham Nights"), Value::Int(2012)});
+  r.AddRow({Value::Int(201), Value::Str("Gotham Nights"), Value::Real(8.8)});
+  l.AddRow({Value::Int(ImdbIds::kNewYorkLocation), Value::Int(41),
+            Value::Str("USANewYork")});
+
+  // ---- filler ----------------------------------------------------------------
+  // Filler movies ensure the result is non-empty: many pass both filters and
+  // have locations.
+  const int n_movies = 450 * scale;
+  static const char* kLocations[] = {"USALosAngeles", "UKLondon", "FranceParis",
+                                     "ItalyRome", "JapanTokyo"};
+  for (int i = 0; i < n_movies; ++i) {
+    int64_t id = 1000 + i;
+    std::string name = "Movie_" + std::to_string(i);
+    int64_t year = rng.UniformInt(1995, 2015);
+    m.AddRow({Value::Int(id), Value::Str(name), Value::Int(year)});
+    double rating = 3.0 + rng.UniformDouble() * 7.0;
+    r.AddRow({Value::Int(2000 + i), Value::Str(name), Value::Real(rating)});
+    int n_loc = static_cast<int>(rng.UniformInt(1, 2));
+    for (int k = 0; k < n_loc; ++k) {
+      l.AddRow({Value::Int(10000 + i * 3 + k), Value::Int(id),
+                Value::Str(kLocations[rng.UniformInt(0, 4)])});
+    }
+  }
+
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(m)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(r)));
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(l)));
+  return db;
+}
+
+}  // namespace ned

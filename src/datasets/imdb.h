@@ -1,0 +1,34 @@
+/// \file imdb.h
+/// \brief Synthetic movie database (IMDB/MovieLens extract stand-in).
+///
+/// Schemas:
+///   M(id, name, year)            -- movies
+///   R(id, name, rating)          -- ratings (joined to M by movie name)
+///   L(id, movieId, locationId)   -- filming locations (movieId = M.id)
+///
+/// Planted behaviours: Avatar is rated >= 8 but dated 2009 (fails the
+/// year > 2009 filter -- Imdb1); Christmas Story passes both filters but was
+/// filmed in Toronto while the only USANewYork location row belongs to a
+/// different movie (Imdb2's renamed-attribute question).
+
+#ifndef NED_DATASETS_IMDB_H_
+#define NED_DATASETS_IMDB_H_
+
+#include "relational/database.h"
+
+namespace ned {
+
+struct ImdbIds {
+  static constexpr int64_t kAvatarMovie = 18;
+  static constexpr int64_t kAvatarRating = 124;
+  static constexpr int64_t kChristmasMovie = 40;
+  static constexpr int64_t kChristmasRating = 200;
+  static constexpr int64_t kChristmasLocation = 300;  // Toronto
+  static constexpr int64_t kNewYorkLocation = 301;    // belongs to Gotham Nights (41)
+};
+
+Result<Database> BuildImdbDb(int scale = 1);
+
+}  // namespace ned
+
+#endif  // NED_DATASETS_IMDB_H_

@@ -1,0 +1,59 @@
+#include "datasets/running_example.h"
+
+#include "sql/binder.h"
+
+namespace ned {
+
+Result<Database> BuildRunningExampleDb() {
+  Database db;
+
+  Relation a("A", Schema({{"A", "aid"}, {"A", "name"}, {"A", "dob"}}));
+  a.AddRow({Value::Str("a1"), Value::Str("Homer"), Value::Int(-800)});      // t4
+  a.AddRow({Value::Str("a2"), Value::Str("Sophocles"), Value::Int(-400)});  // t5
+  a.AddRow({Value::Str("a3"), Value::Str("Euripides"), Value::Int(-400)});  // t6
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(a)));
+
+  Relation ab("AB", Schema({{"AB", "aid"}, {"AB", "bid"}}));
+  ab.AddRow({Value::Str("a1"), Value::Str("b2")});  // t7
+  ab.AddRow({Value::Str("a1"), Value::Str("b1")});  // t8
+  ab.AddRow({Value::Str("a2"), Value::Str("b3")});  // t9
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(ab)));
+
+  Relation b("B", Schema({{"B", "bid"}, {"B", "title"}, {"B", "price"}}));
+  b.AddRow({Value::Str("b1"), Value::Str("Odyssey"), Value::Int(15)});   // t1
+  b.AddRow({Value::Str("b2"), Value::Str("Illiad"), Value::Int(45)});    // t2
+  b.AddRow({Value::Str("b3"), Value::Str("Antigone"), Value::Int(49)});  // t3
+  NED_RETURN_NOT_OK(db.AddRelation(std::move(b)));
+
+  return db;
+}
+
+const char* RunningExampleSql() {
+  return "SELECT A.name, avg(B.price) AS ap FROM A, AB, B "
+         "WHERE A.aid = AB.aid AND B.bid = AB.bid AND A.dob > -800 "
+         "GROUP BY A.name";
+}
+
+Result<QueryTree> BuildRunningExampleTree(const Database& db) {
+  return CompileSql(RunningExampleSql(), db);
+}
+
+WhyNotQuestion RunningExampleQuestionHomer() {
+  CTuple tc;
+  tc.Add("A.name", Value::Str("Homer"))
+      .AddVar("ap", "x1")
+      .Where("x1", CompareOp::kGt, Value::Int(25));
+  return WhyNotQuestion(std::move(tc));
+}
+
+WhyNotQuestion RunningExampleQuestion() {
+  WhyNotQuestion q = RunningExampleQuestionHomer();
+  CTuple other;
+  other.AddVar("A.name", "x2")
+      .Where("x2", CompareOp::kNe, Value::Str("Homer"))
+      .Where("x2", CompareOp::kNe, Value::Str("Sophocles"));
+  q.AddCTuple(std::move(other));
+  return q;
+}
+
+}  // namespace ned

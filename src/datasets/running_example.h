@@ -1,0 +1,46 @@
+/// \file running_example.h
+/// \brief The paper's running example (Fig. 1): authors A, books B, link AB.
+///
+/// Dates BC are stored as negative astronomical years (800BC = -800), so the
+/// paper's selection "A.dob > 800BC" becomes A.dob > -800.
+
+#ifndef NED_DATASETS_RUNNING_EXAMPLE_H_
+#define NED_DATASETS_RUNNING_EXAMPLE_H_
+
+#include "algebra/query_tree.h"
+#include "relational/database.h"
+#include "whynot/ctuple.h"
+
+namespace ned {
+
+/// Builds the Fig. 1(b) instance:
+///   A(aid, name, dob)  : t4 (a1, Homer, -800), t5 (a2, Sophocles, -400),
+///                        t6 (a3, Euripides, -400)
+///   AB(aid, bid)       : t7 (a1, b2), t8 (a1, b1), t9 (a2, b3)
+///   B(bid, title, price): t1 (b1, Odyssey, 15), t2 (b2, Illiad, 45),
+///                        t3 (b3, Antigone, 49)
+Result<Database> BuildRunningExampleDb();
+
+/// The running-example SQL (Fig. 1(a)):
+///   SELECT A.name, AVG(B.price) AS ap FROM A, AB, B
+///   WHERE A.dob > -800 AND A.aid = AB.aid AND B.bid = AB.bid
+///   GROUP BY A.name
+/// Canonicalizing it reproduces the Fig. 1(c) tree: the breakpoint view V is
+/// the full A-AB-B join (mQ2), the dob selection sits right above it (mQ3),
+/// and the aggregation is the root (mQ).
+const char* RunningExampleSql();
+
+/// Builds the canonical query tree for the running example.
+Result<QueryTree> BuildRunningExampleTree(const Database& db);
+
+/// The Why-Not question of Ex. 2.1:
+///   ((A.name:Homer, ap:x1), x1 > 25)
+///   OR ((A.name:x2), x2 != Homer AND x2 != Sophocles)
+WhyNotQuestion RunningExampleQuestion();
+
+/// Only the first c-tuple (the one Ex. 2.6 computes the answer for).
+WhyNotQuestion RunningExampleQuestionHomer();
+
+}  // namespace ned
+
+#endif  // NED_DATASETS_RUNNING_EXAMPLE_H_

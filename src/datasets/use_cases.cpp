@@ -1,0 +1,194 @@
+#include "datasets/use_cases.h"
+
+#include "canonical/canonicalizer.h"
+#include "datasets/crime.h"
+#include "datasets/gov.h"
+#include "datasets/imdb.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace ned {
+namespace {
+
+// ---- Table 3: the query texts ------------------------------------------------
+
+const char* kQ1 =
+    "SELECT P.name, C.type FROM P, S, W, C "
+    "WHERE C.sector = W.sector AND W.name = S.witnessName "
+    "AND S.hair = P.hair AND S.clothes = P.clothes";
+
+const char* kQ2 =
+    "SELECT P.name, C.type FROM P, S, W, C "
+    "WHERE C.sector = W.sector AND W.name = S.witnessName "
+    "AND S.hair = P.hair AND S.clothes = P.clothes AND C.sector > 99";
+
+const char* kQ3 =
+    "SELECT W.name, C2.type FROM C C2, C C1, W "
+    "WHERE C2.sector = C1.sector AND W.sector = C2.sector "
+    "AND C1.type = 'Aiding'";
+
+const char* kQ4 =
+    "SELECT P2.name FROM P P2, P P1 "
+    "WHERE P2.hair = P1.hair AND P1.name < 'B' AND P1.name != P2.name";
+
+const char* kQ5 =
+    "SELECT name, L.locationId FROM M, R, L "
+    "WHERE M.name = R.name AND L.movieId = M.id "
+    "AND M.year > 2009 AND R.rating >= 8";
+
+const char* kQ6 =
+    "SELECT Co.firstname, Co.lastname FROM Co, AA "
+    "WHERE Co.id = AA.id AND AA.party = 'Republican' AND Co.Byear > 1970";
+
+const char* kQ7 =
+    "SELECT sponsorId, SPO.sponsorln, E.camount FROM E, ES, SPO "
+    "WHERE E.earmarkId = ES.earmarkId AND ES.sponsorId = SPO.sponsorId "
+    "AND ES.substage = 'Senate Committee' AND SPO.party = 'Republican'";
+
+const char* kQ8 =
+    "SELECT P.name, count(C.type) AS ct FROM P, S, W, C "
+    "WHERE C.sector = W.sector AND W.name = S.witnessName "
+    "AND S.hair = P.hair AND S.clothes = P.clothes AND C.sector > 80 "
+    "GROUP BY P.name";
+
+const char* kQ9 =
+    "SELECT SPO.sponsorln, sum(E.camount) AS am FROM E, ES, SPO "
+    "WHERE E.earmarkId = ES.earmarkId AND ES.sponsorId = SPO.sponsorId "
+    "AND SPO.party = 'Republican' AND ES.substage = 'Senate Committee' "
+    "GROUP BY SPO.sponsorln";
+
+const char* kQ10 =
+    "SELECT Co.lastname FROM Co, AA "
+    "WHERE Co.id = AA.id AND AA.party = 'Democrat' AND AA.state = 'NY'";
+
+const char* kQ11 =
+    "SELECT SPO.sponsorln FROM SPO "
+    "WHERE SPO.party = 'Democrat' AND SPO.state = 'NY'";
+
+// Q12 = Q10 UNION Q11, renamed to the common output attribute "name".
+
+// ---- Table 4: the questions ----------------------------------------------------
+
+CTuple Fields(std::initializer_list<std::pair<const char*, Value>> fields) {
+  CTuple tc;
+  for (const auto& [attr, value] : fields) tc.Add(attr, value);
+  return tc;
+}
+
+}  // namespace
+
+Result<const UseCase*> UseCaseRegistry::Find(const std::string& name) const {
+  for (const UseCase& uc : use_cases_) {
+    if (uc.name == name) return &uc;
+  }
+  return Status::NotFound("no use case named " + name);
+}
+
+Result<QueryTree> UseCaseRegistry::BuildTree(const UseCase& use_case) const {
+  return Canonicalize(use_case.spec, database(use_case.db_name));
+}
+
+Result<UseCaseRegistry> UseCaseRegistry::Build(int scale) {
+  UseCaseRegistry registry;
+  {
+    NED_ASSIGN_OR_RETURN(Database crime, BuildCrimeDb(scale));
+    registry.databases_["crime"] = std::make_shared<Database>(std::move(crime));
+    NED_ASSIGN_OR_RETURN(Database imdb, BuildImdbDb(scale));
+    registry.databases_["imdb"] = std::make_shared<Database>(std::move(imdb));
+    NED_ASSIGN_OR_RETURN(Database gov, BuildGovDb(scale));
+    registry.databases_["gov"] = std::make_shared<Database>(std::move(gov));
+  }
+
+  auto add = [&](const std::string& name, const std::string& db_name,
+                 const std::string& query_name, const std::string& sql,
+                 WhyNotQuestion question,
+                 const std::vector<std::string>& union_names = {}) -> Status {
+    UseCase uc;
+    uc.name = name;
+    uc.db_name = db_name;
+    uc.query_name = query_name;
+    uc.sql = sql;
+    NED_ASSIGN_OR_RETURN(SqlQuery ast, ParseSql(sql));
+    NED_ASSIGN_OR_RETURN(uc.spec, BindSql(ast, registry.database(db_name)));
+    uc.spec.union_names = union_names;
+    uc.question = std::move(question);
+    registry.use_cases_.push_back(std::move(uc));
+    return Status::OK();
+  };
+
+  // ---- crime -------------------------------------------------------------------
+  NED_RETURN_NOT_OK(add("Crime1", "crime", "Q1", kQ1,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Hank")},
+                                               {"C.type", Value::Str("Car theft")}}))));
+  NED_RETURN_NOT_OK(add("Crime2", "crime", "Q1", kQ1,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Roger")},
+                                               {"C.type", Value::Str("Car theft")}}))));
+  NED_RETURN_NOT_OK(add("Crime3", "crime", "Q2", kQ2,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Roger")},
+                                               {"C.type", Value::Str("Car theft")}}))));
+  NED_RETURN_NOT_OK(add("Crime4", "crime", "Q2", kQ2,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Hank")},
+                                               {"C.type", Value::Str("Car theft")}}))));
+  NED_RETURN_NOT_OK(add("Crime5", "crime", "Q2", kQ2,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Hank")}}))));
+  NED_RETURN_NOT_OK(add("Crime6", "crime", "Q3", kQ3,
+                        WhyNotQuestion(Fields({{"C2.type", Value::Str("Kidnapping")}}))));
+  NED_RETURN_NOT_OK(add("Crime7", "crime", "Q3", kQ3,
+                        WhyNotQuestion(Fields({{"W.name", Value::Str("Susan")},
+                                               {"C2.type", Value::Str("Kidnapping")}}))));
+  NED_RETURN_NOT_OK(add("Crime8", "crime", "Q4", kQ4,
+                        WhyNotQuestion(Fields({{"P2.name", Value::Str("Audrey")}}))));
+  {
+    CTuple tc;
+    tc.Add("P.name", Value::Str("Betsy"))
+        .AddVar("ct", "x")
+        .Where("x", CompareOp::kGt, Value::Int(8));
+    NED_RETURN_NOT_OK(add("Crime9", "crime", "Q8", kQ8, WhyNotQuestion(tc)));
+  }
+  NED_RETURN_NOT_OK(add("Crime10", "crime", "Q8", kQ8,
+                        WhyNotQuestion(Fields({{"P.name", Value::Str("Roger")}}))));
+
+  // ---- imdb --------------------------------------------------------------------
+  NED_RETURN_NOT_OK(add("Imdb1", "imdb", "Q5", kQ5,
+                        WhyNotQuestion(Fields({{"name", Value::Str("Avatar")}}))));
+  NED_RETURN_NOT_OK(
+      add("Imdb2", "imdb", "Q5", kQ5,
+          WhyNotQuestion(Fields({{"name", Value::Str("Christmas Story")},
+                                 {"L.locationId", Value::Str("USANewYork")}}))));
+
+  // ---- gov ---------------------------------------------------------------------
+  NED_RETURN_NOT_OK(add("Gov1", "gov", "Q6", kQ6,
+                        WhyNotQuestion(Fields({{"Co.firstname", Value::Str("Christopher")}}))));
+  NED_RETURN_NOT_OK(
+      add("Gov2", "gov", "Q6", kQ6,
+          WhyNotQuestion(Fields({{"Co.firstname", Value::Str("Christopher")},
+                                 {"Co.lastname", Value::Str("MURPHY")}}))));
+  NED_RETURN_NOT_OK(
+      add("Gov3", "gov", "Q6", kQ6,
+          WhyNotQuestion(Fields({{"Co.firstname", Value::Str("Christopher")},
+                                 {"Co.lastname", Value::Str("GIBSON")}}))));
+  NED_RETURN_NOT_OK(add("Gov4", "gov", "Q7", kQ7,
+                        WhyNotQuestion(Fields({{"sponsorId", Value::Int(467)}}))));
+  {
+    CTuple tc;
+    tc.Add("SPO.sponsorln", Value::Str("Lugar"))
+        .AddVar("E.camount", "x")
+        .Where("x", CompareOp::kGe, Value::Int(1000));
+    NED_RETURN_NOT_OK(add("Gov5", "gov", "Q7", kQ7, WhyNotQuestion(tc)));
+  }
+  {
+    CTuple tc;
+    tc.Add("SPO.sponsorln", Value::Str("Bennett"))
+        .AddVar("am", "x")
+        .Where("x", CompareOp::kEq, Value::Int(18700));
+    NED_RETURN_NOT_OK(add("Gov6", "gov", "Q9", kQ9, WhyNotQuestion(tc)));
+  }
+  NED_RETURN_NOT_OK(add("Gov7", "gov", "Q12",
+                        std::string(kQ10) + " UNION " + kQ11,
+                        WhyNotQuestion(Fields({{"name", Value::Str("JOHN")}})),
+                        {"name"}));
+
+  return registry;
+}
+
+}  // namespace ned

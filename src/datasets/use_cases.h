@@ -1,0 +1,63 @@
+/// \file use_cases.h
+/// \brief The paper's evaluation workload: queries Q1-Q12 (Table 3) and use
+/// cases Crime1-10, Imdb1-2, Gov1-7 (Table 4).
+///
+/// Each use case pairs a query over one of the three databases with a
+/// Why-Not question. The registry owns the databases (built once) and hands
+/// out freshly canonicalized query trees so engines can be constructed per
+/// measurement.
+
+#ifndef NED_DATASETS_USE_CASES_H_
+#define NED_DATASETS_USE_CASES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/query_tree.h"
+#include "canonical/query_spec.h"
+#include "relational/database.h"
+#include "whynot/ctuple.h"
+
+namespace ned {
+
+/// One evaluation use case (a row of Table 4).
+struct UseCase {
+  std::string name;        ///< "Crime1"
+  std::string db_name;     ///< "crime" / "imdb" / "gov"
+  std::string query_name;  ///< "Q1".."Q12"
+  std::string sql;         ///< the query in the library's SQL subset
+  QuerySpec spec;          ///< bound logical form (canonicalization input)
+  WhyNotQuestion question;
+
+  /// "(P.Name:Hank, C.Type:Car theft)" (Table 4's predicate column).
+  std::string PredicateDisplay() const { return question.ToString(); }
+};
+
+/// Owns the crime/imdb/gov instances and the 19 use cases.
+class UseCaseRegistry {
+ public:
+  /// Builds the three databases at `scale` (1 = paper-comparable sizes) and
+  /// binds all use cases.
+  static Result<UseCaseRegistry> Build(int scale = 1);
+
+  const Database& database(const std::string& name) const {
+    return *databases_.at(name);
+  }
+  const std::vector<UseCase>& use_cases() const { return use_cases_; }
+
+  /// The use case named `name`, or an error.
+  Result<const UseCase*> Find(const std::string& name) const;
+
+  /// Canonicalizes the use case's query against its database.
+  Result<QueryTree> BuildTree(const UseCase& use_case) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Database>> databases_;
+  std::vector<UseCase> use_cases_;
+};
+
+}  // namespace ned
+
+#endif  // NED_DATASETS_USE_CASES_H_

@@ -1,0 +1,119 @@
+/// \file evaluator.h
+/// \brief Lineage-tracking, node-at-a-time query evaluation.
+///
+/// QueryInput materialises the query input instance I_Q (Def. 2.3): one tuple
+/// list per *alias*, with stable base TupleIds. A stored relation backing two
+/// aliases (self-join) yields two disjoint id ranges -- the formal device that
+/// lets NedExplain place compatible tuples in the correct relation instance.
+///
+/// Evaluator computes each node's output on demand (memoized), which lets
+/// NedExplain drive evaluation bottom-up and stop early (Alg. 2) without ever
+/// touching operators above the termination point.
+
+#ifndef NED_EXEC_EVALUATOR_H_
+#define NED_EXEC_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/query_tree.h"
+#include "exec/lineage.h"
+
+namespace ned {
+
+/// The materialised query input instance I_Q.
+class QueryInput {
+ public:
+  /// Instantiates every scan alias of `tree` from `db`.
+  static Result<QueryInput> Build(const QueryTree& tree, const Database& db);
+
+  /// Tuples of one alias; ids are stable across evaluations.
+  Result<const std::vector<TraceTuple>*> AliasTuples(
+      const std::string& alias) const;
+  Result<const Schema*> AliasSchema(const std::string& alias) const;
+
+  /// Aliases in scan (bottom-up) order.
+  const std::vector<std::string>& aliases() const { return alias_order_; }
+
+  /// The base tuple with id `id`, or nullptr.
+  const TraceTuple* FindById(TupleId id) const;
+  /// Alias that `id` belongs to ("" when unknown).
+  std::string AliasOfId(TupleId id) const;
+
+  /// Short human identifier, e.g. "C2.id:396" (uses the alias's first
+  /// attribute, which our datasets make the key, per paper footnote 2).
+  std::string DisplayTuple(TupleId id) const;
+
+  size_t TotalTuples() const;
+
+ private:
+  struct AliasData {
+    Schema schema;
+    std::vector<TraceTuple> tuples;
+    uint32_t ordinal = 0;
+  };
+  std::map<std::string, AliasData> by_alias_;
+  std::vector<std::string> alias_order_;  // index = alias ordinal
+};
+
+/// Memoizing bottom-up evaluator over one (tree, input) pair.
+class Evaluator {
+ public:
+  Evaluator(const QueryTree* tree, const QueryInput* input)
+      : tree_(tree), input_(input) {}
+
+  /// Output of `node`, evaluating (and caching) descendants as needed.
+  Result<const std::vector<TraceTuple>*> EvalNode(const OperatorNode* node);
+
+  /// Evaluates the whole tree; returns the root output.
+  Result<const std::vector<TraceTuple>*> EvalAll() {
+    return EvalNode(tree_->root());
+  }
+
+  /// Cached output of `node`, or nullptr if not yet evaluated.
+  const std::vector<TraceTuple>* TryGetOutput(const OperatorNode* node) const;
+
+  /// Children outputs of `node` (its manipulation's input instance),
+  /// evaluating them if necessary.
+  Result<std::vector<const std::vector<TraceTuple>*>> InputsOf(
+      const OperatorNode* node);
+
+  /// Total intermediate tuples materialised so far (perf counters).
+  size_t tuples_produced() const { return tuples_produced_; }
+
+  const QueryTree& tree() const { return *tree_; }
+  const QueryInput& input() const { return *input_; }
+
+ private:
+  Result<std::vector<TraceTuple>> Compute(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeSelect(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeProject(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeJoin(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeUnion(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeDifference(const OperatorNode* node);
+  Result<std::vector<TraceTuple>> ComputeAggregate(const OperatorNode* node);
+
+  Rid NextRid() { return next_rid_++; }
+
+  const QueryTree* tree_;
+  const QueryInput* input_;
+  std::unordered_map<const OperatorNode*, std::vector<TraceTuple>> outputs_;
+  Rid next_rid_ = kIntermediateRidBase + 1;
+  size_t tuples_produced_ = 0;
+};
+
+/// Computes the aggregate output tuples for `node` over an arbitrary input
+/// tuple list (used both by the evaluator and by NedExplain's cond-alpha
+/// checks, which aggregate a subquery's *input*). `input_schema` types the
+/// given tuples.
+Result<std::vector<Tuple>> ComputeAggregateTuples(
+    const std::vector<Attribute>& group_by, const std::vector<AggCall>& calls,
+    const std::vector<const TraceTuple*>& input, const Schema& input_schema,
+    const Schema& output_schema);
+
+}  // namespace ned
+
+#endif  // NED_EXEC_EVALUATOR_H_

@@ -1,0 +1,73 @@
+/// \file lineage.h
+/// \brief Lineage-carrying tuples (Cui & Widom lineage, paper Sec. 2.3).
+///
+/// Every materialized tuple carries (1) the set of *base* tuples of I_Q in
+/// its lineage and (2) the runtime ids of its *immediate predecessors* in the
+/// child outputs. (1) drives the valid-successor test `lineage(t) subseteq D`
+/// (Notation 2.1); (2) gives the per-manipulation successor relation used by
+/// FindSuccessors and the Why-Not baseline. This natively replaces the Trio
+/// lineage service the original implementations queried.
+
+#ifndef NED_EXEC_LINEAGE_H_
+#define NED_EXEC_LINEAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace ned {
+
+/// Sorted, deduplicated set of base TupleIds.
+using BaseSet = std::vector<TupleId>;
+
+/// Merges two sorted BaseSets.
+BaseSet BaseSetUnion(const BaseSet& a, const BaseSet& b);
+
+/// True if every element of `subset` (sorted) is in `superset`.
+bool BaseSetSubsetOf(const BaseSet& subset,
+                     const std::unordered_set<TupleId>& superset);
+
+/// True if `a` (sorted) and `b` (hash set) share an element.
+bool BaseSetIntersects(const BaseSet& a,
+                       const std::unordered_set<TupleId>& b);
+
+/// Elements of `a` (sorted) also present in `b`.
+BaseSet BaseSetIntersection(const BaseSet& a,
+                            const std::unordered_set<TupleId>& b);
+
+/// Renders a tuple's provenance as a product of base-tuple names, e.g.
+/// "A.aid:a1 * AB.aid:a1 * B.bid:b2" -- the how-provenance notation the
+/// paper uses in Table 2 (t4 x t7 x t2). Declared here, defined in
+/// evaluator.cpp (needs QueryInput for the display names).
+class QueryInput;
+
+/// Runtime id of a materialized tuple. For base tuples (scan inputs) this is
+/// the base TupleId itself; intermediate tuples use ids with the top bit set.
+using Rid = uint64_t;
+
+inline constexpr Rid kIntermediateRidBase = 1ULL << 63;
+
+inline bool IsBaseRid(Rid rid) { return (rid & kIntermediateRidBase) == 0; }
+
+/// A materialized tuple with provenance.
+struct TraceTuple {
+  Rid rid = 0;
+  Tuple values;
+  std::vector<Rid> preds;  ///< immediate predecessors (rids in child outputs);
+                           ///< empty for query-input tuples
+  BaseSet lineage;         ///< sorted base TupleIds (never empty)
+
+  std::string ToString(const Schema& schema) const {
+    return values.ToString(schema);
+  }
+};
+
+/// "A.aid:a1 * AB.aid:a1 * B.bid:b2" for the tuple's lineage.
+std::string HowProvenance(const TraceTuple& tuple, const QueryInput& input);
+
+}  // namespace ned
+
+#endif  // NED_EXEC_LINEAGE_H_

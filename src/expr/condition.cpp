@@ -1,0 +1,20 @@
+#include "expr/condition.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+std::string CPred::ToString() const {
+  std::string rhs = rhs_is_var ? rhs_var : rhs_const.ToString();
+  return lhs_var + " " + CompareOpSymbol(op) + " " + rhs;
+}
+
+std::string ConditionToString(const std::vector<CPred>& cond) {
+  if (cond.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(cond.size());
+  for (const auto& p : cond) parts.push_back(p.ToString());
+  return Join(parts, " AND ");
+}
+
+}  // namespace ned

@@ -1,0 +1,52 @@
+/// \file condition.h
+/// \brief Conditions on c-tuple variables (paper Def. 2.5).
+///
+/// A c-tuple condition is a conjunction of predicates of the form
+/// `x cop x'` or `x cop a` where x, x' are variables and a is a constant.
+
+#ifndef NED_EXPR_CONDITION_H_
+#define NED_EXPR_CONDITION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace ned {
+
+/// One conjunct of a c-tuple condition.
+struct CPred {
+  std::string lhs_var;   ///< variable on the left
+  CompareOp op;
+  bool rhs_is_var = false;
+  std::string rhs_var;   ///< set when rhs_is_var
+  Value rhs_const;       ///< set when !rhs_is_var
+
+  /// `x > 25`-style constant predicate.
+  static CPred VsConst(std::string var, CompareOp op, Value constant) {
+    CPred p;
+    p.lhs_var = std::move(var);
+    p.op = op;
+    p.rhs_is_var = false;
+    p.rhs_const = std::move(constant);
+    return p;
+  }
+  /// `x != y`-style variable predicate.
+  static CPred VsVar(std::string var, CompareOp op, std::string other) {
+    CPred p;
+    p.lhs_var = std::move(var);
+    p.op = op;
+    p.rhs_is_var = true;
+    p.rhs_var = std::move(other);
+    return p;
+  }
+
+  std::string ToString() const;
+};
+
+/// Renders a conjunction, "x1 > 25 AND x2 != Homer"; "true" when empty.
+std::string ConditionToString(const std::vector<CPred>& cond);
+
+}  // namespace ned
+
+#endif  // NED_EXPR_CONDITION_H_

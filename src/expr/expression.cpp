@@ -1,0 +1,112 @@
+#include "expr/expression.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+Result<bool> Expression::EvalBool(const Tuple& tuple, const Schema& schema) const {
+  NED_ASSIGN_OR_RETURN(Value v, Eval(tuple, schema));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.as_int() != 0;
+  return Status::TypeError("expression is not boolean: " + ToString());
+}
+
+Result<Value> ColumnRef::Eval(const Tuple& tuple, const Schema& schema) const {
+  NED_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(attr_));
+  if (idx >= tuple.size()) {
+    return Status::Internal("tuple narrower than schema at " + attr_.FullName());
+  }
+  return tuple.at(idx);
+}
+
+std::string Literal::ToString() const {
+  if (value_.type() == ValueType::kString) {
+    return "'" + value_.as_string() + "'";
+  }
+  return value_.ToString();
+}
+
+Result<Value> Comparison::Eval(const Tuple& tuple, const Schema& schema) const {
+  NED_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple, schema));
+  NED_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple, schema));
+  return Value::Int(Value::Satisfies(l, op_, r) ? 1 : 0);
+}
+
+std::string Comparison::ToString() const {
+  return left_->ToString() + " " + CompareOpSymbol(op_) + " " +
+         right_->ToString();
+}
+
+Result<Value> Conjunction::Eval(const Tuple& tuple, const Schema& schema) const {
+  for (const auto& t : terms_) {
+    NED_ASSIGN_OR_RETURN(bool b, t->EvalBool(tuple, schema));
+    if (!b) return Value::Int(0);
+  }
+  return Value::Int(1);
+}
+
+std::string Conjunction::ToString() const {
+  if (terms_.empty()) return "TRUE";
+  std::vector<std::string> parts;
+  for (const auto& t : terms_) parts.push_back(t->ToString());
+  return "(" + Join(parts, " AND ") + ")";
+}
+
+Result<Value> Disjunction::Eval(const Tuple& tuple, const Schema& schema) const {
+  for (const auto& t : terms_) {
+    NED_ASSIGN_OR_RETURN(bool b, t->EvalBool(tuple, schema));
+    if (b) return Value::Int(1);
+  }
+  return Value::Int(0);
+}
+
+std::string Disjunction::ToString() const {
+  if (terms_.empty()) return "FALSE";
+  std::vector<std::string> parts;
+  for (const auto& t : terms_) parts.push_back(t->ToString());
+  return "(" + Join(parts, " OR ") + ")";
+}
+
+Result<Value> Not::Eval(const Tuple& tuple, const Schema& schema) const {
+  NED_ASSIGN_OR_RETURN(bool b, inner_->EvalBool(tuple, schema));
+  return Value::Int(b ? 0 : 1);
+}
+
+ExprPtr Col(const std::string& qualifier, const std::string& name) {
+  return std::make_shared<ColumnRef>(Attribute(qualifier, name));
+}
+ExprPtr Col(const std::string& dotted) {
+  return std::make_shared<ColumnRef>(Attribute::Parse(dotted));
+}
+ExprPtr Lit(int64_t v) { return std::make_shared<Literal>(Value::Int(v)); }
+ExprPtr Lit(double v) { return std::make_shared<Literal>(Value::Real(v)); }
+ExprPtr Lit(const std::string& v) {
+  return std::make_shared<Literal>(Value::Str(v));
+}
+ExprPtr Lit(const char* v) { return std::make_shared<Literal>(Value::Str(v)); }
+ExprPtr Lit(Value v) { return std::make_shared<Literal>(std::move(v)); }
+
+ExprPtr Cmp(ExprPtr l, CompareOp op, ExprPtr r) {
+  return std::make_shared<Comparison>(std::move(l), op, std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kEq, std::move(r)); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kNe, std::move(r)); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kLt, std::move(r)); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kLe, std::move(r)); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kGt, std::move(r)); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Cmp(std::move(l), CompareOp::kGe, std::move(r)); }
+
+ExprPtr And(std::vector<ExprPtr> terms) {
+  if (terms.size() == 1) return terms[0];
+  return std::make_shared<Conjunction>(std::move(terms));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return And(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+ExprPtr Or(std::vector<ExprPtr> terms) {
+  if (terms.size() == 1) return terms[0];
+  return std::make_shared<Disjunction>(std::move(terms));
+}
+ExprPtr Negate(ExprPtr inner) { return std::make_shared<Not>(std::move(inner)); }
+
+}  // namespace ned

@@ -1,0 +1,247 @@
+#include "expr/satisfiability.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace ned {
+namespace {
+
+/// A one-variable feasible region: optional lower/upper bound (with
+/// strictness) plus excluded points. Domains are treated as dense.
+struct Interval {
+  std::optional<Value> lo;
+  bool lo_strict = false;
+  std::optional<Value> hi;
+  bool hi_strict = false;
+  std::vector<Value> excluded;
+
+  /// Tightens the lower bound; returns false on immediate contradiction
+  /// (incomparable bound types, e.g. string vs number).
+  bool TightenLo(const Value& v, bool strict) {
+    if (!lo.has_value()) {
+      lo = v;
+      lo_strict = strict;
+      return true;
+    }
+    std::optional<int> c = Value::Compare(v, *lo);
+    if (!c.has_value()) return false;
+    if (*c > 0 || (*c == 0 && strict)) {
+      lo = v;
+      lo_strict = strict;
+    }
+    return true;
+  }
+  bool TightenHi(const Value& v, bool strict) {
+    if (!hi.has_value()) {
+      hi = v;
+      hi_strict = strict;
+      return true;
+    }
+    std::optional<int> c = Value::Compare(v, *hi);
+    if (!c.has_value()) return false;
+    if (*c < 0 || (*c == 0 && strict)) {
+      hi = v;
+      hi_strict = strict;
+    }
+    return true;
+  }
+
+  /// True when some value remains in the region (dense-domain semantics).
+  bool Feasible() const {
+    if (lo.has_value() && hi.has_value()) {
+      std::optional<int> c = Value::Compare(*lo, *hi);
+      if (!c.has_value()) return false;
+      if (*c > 0) return false;
+      if (*c == 0) {
+        if (lo_strict || hi_strict) return false;
+        // Interval pinched to the single point *lo: excluded points matter.
+        for (const auto& e : excluded) {
+          if (Value::Satisfies(*lo, CompareOp::kEq, e)) return false;
+        }
+      }
+    }
+    // Dense unbounded domain: a half-open/unbounded interval always contains
+    // infinitely many points, so finitely many exclusions cannot empty it.
+    return true;
+  }
+};
+
+struct UnionFind {
+  std::map<std::string, std::string> parent;
+  std::string Find(const std::string& x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    std::string root = Find(it->second);
+    parent[x] = root;
+    return root;
+  }
+  void Union(const std::string& a, const std::string& b) {
+    parent[Find(a)] = Find(b);
+  }
+};
+
+}  // namespace
+
+bool SatisfiableWith(const std::vector<CPred>& cond,
+                     const std::map<std::string, Value>& bindings) {
+  // Working copy of bindings that equality propagation can extend.
+  std::map<std::string, Value> bound = bindings;
+  UnionFind uf;
+  for (const auto& p : cond) {
+    uf.Find(p.lhs_var);
+    if (p.rhs_is_var) uf.Find(p.rhs_var);
+  }
+  // Merge equality classes of `x = y` predicates.
+  for (const auto& p : cond) {
+    if (p.rhs_is_var && p.op == CompareOp::kEq) uf.Union(p.lhs_var, p.rhs_var);
+  }
+  // Each equality class takes the binding of any bound member; two distinct
+  // bound members must agree.
+  std::map<std::string, Value> class_value;
+  for (const auto& [var, val] : bound) {
+    std::string root = uf.Find(var);
+    auto it = class_value.find(root);
+    if (it == class_value.end()) {
+      class_value[root] = val;
+    } else if (!Value::Satisfies(it->second, CompareOp::kEq, val)) {
+      return false;
+    }
+  }
+  // Constant propagation through `x = a` predicates (fixpoint in one pass
+  // since classes are already merged).
+  for (const auto& p : cond) {
+    if (!p.rhs_is_var && p.op == CompareOp::kEq) {
+      std::string root = uf.Find(p.lhs_var);
+      auto it = class_value.find(root);
+      if (it == class_value.end()) {
+        class_value[root] = p.rhs_const;
+      } else if (!Value::Satisfies(it->second, CompareOp::kEq, p.rhs_const)) {
+        return false;
+      }
+    }
+  }
+
+  auto value_of = [&](const std::string& var) -> std::optional<Value> {
+    auto it = class_value.find(uf.Find(var));
+    if (it == class_value.end()) return std::nullopt;
+    return it->second;
+  };
+
+  // Partition remaining predicates into ground checks, per-class intervals
+  // and free var-vs-var inequality edges.
+  struct Edge {
+    std::string lhs;  // class roots
+    CompareOp op;
+    std::string rhs;
+  };
+  std::map<std::string, Interval> intervals;
+  std::vector<Edge> edges;
+
+  for (const auto& p : cond) {
+    if (p.rhs_is_var && p.op == CompareOp::kEq) continue;  // already merged
+    std::optional<Value> l = value_of(p.lhs_var);
+    std::optional<Value> r =
+        p.rhs_is_var ? value_of(p.rhs_var) : std::optional<Value>(p.rhs_const);
+
+    if (l.has_value() && r.has_value()) {
+      if (!Value::Satisfies(*l, p.op, *r)) return false;
+      continue;
+    }
+    if (l.has_value() && !r.has_value()) {
+      // a cop y  ==>  y mirror(cop) a
+      std::string root = uf.Find(p.rhs_var);
+      Interval& iv = intervals[root];
+      switch (MirrorOp(p.op)) {
+        case CompareOp::kEq:
+          if (!iv.TightenLo(*l, false) || !iv.TightenHi(*l, false)) return false;
+          break;
+        case CompareOp::kNe: iv.excluded.push_back(*l); break;
+        case CompareOp::kLt: if (!iv.TightenHi(*l, true)) return false; break;
+        case CompareOp::kLe: if (!iv.TightenHi(*l, false)) return false; break;
+        case CompareOp::kGt: if (!iv.TightenLo(*l, true)) return false; break;
+        case CompareOp::kGe: if (!iv.TightenLo(*l, false)) return false; break;
+      }
+      continue;
+    }
+    if (!l.has_value() && r.has_value()) {
+      std::string root = uf.Find(p.lhs_var);
+      Interval& iv = intervals[root];
+      switch (p.op) {
+        case CompareOp::kEq:
+          if (!iv.TightenLo(*r, false) || !iv.TightenHi(*r, false)) return false;
+          break;
+        case CompareOp::kNe: iv.excluded.push_back(*r); break;
+        case CompareOp::kLt: if (!iv.TightenHi(*r, true)) return false; break;
+        case CompareOp::kLe: if (!iv.TightenHi(*r, false)) return false; break;
+        case CompareOp::kGt: if (!iv.TightenLo(*r, true)) return false; break;
+        case CompareOp::kGe: if (!iv.TightenLo(*r, false)) return false; break;
+      }
+      continue;
+    }
+    // Both free.
+    if (p.op == CompareOp::kNe) continue;  // dense domain: always satisfiable
+    edges.push_back({uf.Find(p.lhs_var), p.op, uf.Find(p.rhs_var)});
+  }
+
+  // Bound propagation across free-variable inequality edges. Chains in
+  // c-tuple conditions are short; |edges|+1 rounds reach a fixpoint for
+  // acyclic systems and expose contradictions in simple cycles.
+  for (size_t round = 0; round <= edges.size(); ++round) {
+    for (const auto& e : edges) {
+      Interval& li = intervals[e.lhs];
+      Interval& ri = intervals[e.rhs];
+      bool lhs_below = e.op == CompareOp::kLt || e.op == CompareOp::kLe;
+      bool strict = e.op == CompareOp::kLt || e.op == CompareOp::kGt;
+      if (lhs_below) {
+        // lhs < rhs: lhs inherits rhs's upper bound, rhs inherits lhs's lower.
+        if (ri.hi.has_value() &&
+            !li.TightenHi(*ri.hi, strict || ri.hi_strict)) {
+          return false;
+        }
+        if (li.lo.has_value() &&
+            !ri.TightenLo(*li.lo, strict || li.lo_strict)) {
+          return false;
+        }
+      } else {
+        if (ri.lo.has_value() &&
+            !li.TightenLo(*ri.lo, strict || ri.lo_strict)) {
+          return false;
+        }
+        if (li.hi.has_value() &&
+            !ri.TightenHi(*li.hi, strict || li.hi_strict)) {
+          return false;
+        }
+      }
+    }
+  }
+
+  for (const auto& [_, iv] : intervals) {
+    if (!iv.Feasible()) return false;
+  }
+  return true;
+}
+
+bool EvaluateGround(const std::vector<CPred>& cond,
+                    const std::map<std::string, Value>& bindings) {
+  for (const auto& p : cond) {
+    auto l = bindings.find(p.lhs_var);
+    if (l == bindings.end()) return false;
+    Value rhs;
+    if (p.rhs_is_var) {
+      auto r = bindings.find(p.rhs_var);
+      if (r == bindings.end()) return false;
+      rhs = r->second;
+    } else {
+      rhs = p.rhs_const;
+    }
+    if (!Value::Satisfies(l->second, p.op, rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace ned

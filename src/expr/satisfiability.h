@@ -1,0 +1,47 @@
+/// \file satisfiability.h
+/// \brief Satisfiability of c-tuple conditions under partial bindings.
+///
+/// Def. 2.8 (compatibility) asks whether "there exists a valuation nu for tc
+/// s.t. nu(tc) |= tc.cond" after fixing the variables that a candidate source
+/// tuple binds. This module decides that existence question for conjunctions
+/// of `var cop const` and `var cop var` predicates (the full condition
+/// language of Def. 2.5).
+///
+/// Decision procedure:
+///   1. substitute bound variables; fully-ground predicates are checked
+///      directly;
+///   2. equalities are propagated to a fixpoint (union-find on variables,
+///      constant propagation through `x = a` and `x = y`);
+///   3. inequality bounds are propagated through `x cop y` edges for a
+///      bounded number of rounds (enough for the acyclic chains that c-tuple
+///      conditions form in practice -- the paper restricts conditions to
+///      variables local to one relation);
+///   4. each remaining free variable is checked for a non-empty feasible
+///      interval, treating domains as dense and unbounded (the paper's active
+///      domains are unconstrained), so disequalities only matter when the
+///      interval is pinched to a single point.
+
+#ifndef NED_EXPR_SATISFIABILITY_H_
+#define NED_EXPR_SATISFIABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/condition.h"
+
+namespace ned {
+
+/// Decides whether `cond` has a satisfying valuation extending `bindings`.
+/// Variables absent from `bindings` are existentially quantified.
+bool SatisfiableWith(const std::vector<CPred>& cond,
+                     const std::map<std::string, Value>& bindings);
+
+/// Evaluates `cond` under a *complete* binding of its variables; unbound
+/// variables make the result false (no existential quantification).
+bool EvaluateGround(const std::vector<CPred>& cond,
+                    const std::map<std::string, Value>& bindings);
+
+}  // namespace ned
+
+#endif  // NED_EXPR_SATISFIABILITY_H_

@@ -1,0 +1,11 @@
+#include "relational/attribute.h"
+
+namespace ned {
+
+Attribute Attribute::Parse(const std::string& text) {
+  size_t dot = text.find('.');
+  if (dot == std::string::npos) return Attribute("", text);
+  return Attribute(text.substr(0, dot), text.substr(dot + 1));
+}
+
+}  // namespace ned

@@ -1,0 +1,62 @@
+/// \file attribute.h
+/// \brief Qualified attribute names (paper Sec. 2.1).
+///
+/// Relation-schema attributes are always qualified by the relation (alias)
+/// name, e.g. `A.dob`. Renamings (Def. 2.1) and aggregations introduce *new
+/// unqualified* attributes, e.g. `aid` or `ap`. Qualification is the device
+/// NedExplain uses to locate compatible tuples in the correct instance of a
+/// self-joined relation -- the Why-Not baseline ignores it, which is one of
+/// the shortcomings the paper demonstrates (use cases Crime6/7).
+
+#ifndef NED_RELATIONAL_ATTRIBUTE_H_
+#define NED_RELATIONAL_ATTRIBUTE_H_
+
+#include <functional>
+#include <string>
+
+namespace ned {
+
+/// An attribute name, optionally qualified by a relation (alias) name.
+struct Attribute {
+  std::string qualifier;  ///< relation/alias name; empty for new attributes
+  std::string name;       ///< attribute name proper
+
+  Attribute() = default;
+  Attribute(std::string qualifier_in, std::string name_in)
+      : qualifier(std::move(qualifier_in)), name(std::move(name_in)) {}
+
+  /// Constructs an unqualified attribute (renaming/aggregation output).
+  static Attribute Unqualified(std::string name) {
+    return Attribute("", std::move(name));
+  }
+
+  bool qualified() const { return !qualifier.empty(); }
+
+  /// "A.dob" or "aid".
+  std::string FullName() const {
+    return qualified() ? qualifier + "." + name : name;
+  }
+
+  /// Parses "A.dob" -> {A, dob}; "aid" -> {"", aid}. The first '.' splits.
+  static Attribute Parse(const std::string& text);
+
+  bool operator==(const Attribute& other) const {
+    return qualifier == other.qualifier && name == other.name;
+  }
+  bool operator!=(const Attribute& other) const { return !(*this == other); }
+  bool operator<(const Attribute& other) const {
+    if (qualifier != other.qualifier) return qualifier < other.qualifier;
+    return name < other.name;
+  }
+};
+
+struct AttributeHash {
+  size_t operator()(const Attribute& a) const {
+    return std::hash<std::string>()(a.qualifier) * 1000003 +
+           std::hash<std::string>()(a.name);
+  }
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_ATTRIBUTE_H_

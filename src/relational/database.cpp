@@ -1,0 +1,104 @@
+#include "relational/database.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ned {
+
+Status Database::CreateRelation(const std::string& name, Schema schema) {
+  if (HasRelation(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  relations_.emplace(name, Relation(name, std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::AddRelation(Relation relation) {
+  if (HasRelation(relation.name())) {
+    return Status::AlreadyExists("relation already exists: " + relation.name());
+  }
+  std::string name = relation.name();
+  relations_.emplace(std::move(name), std::move(relation));
+  return Status::OK();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, _] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [_, rel] : relations_) total += rel.size();
+  return total;
+}
+
+Status Database::LoadCsv(const std::string& name, const std::string& csv_text) {
+  NED_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(csv_text));
+  if (doc.rows.empty()) {
+    return Status::InvalidArgument("CSV for relation " + name + " has no header");
+  }
+  Schema schema;
+  for (const auto& col : doc.rows[0]) {
+    schema.Add(Attribute(name, Trim(col)));
+  }
+  Relation rel(name, schema);
+  for (size_t r = 1; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
+    if (row.size() != schema.size()) {
+      return Status::ParseError(StrCat("CSV row ", r, " of relation ", name,
+                                       " has ", row.size(), " fields, expected ",
+                                       schema.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (const auto& field : row) values.push_back(Value::ParseLenient(field));
+    rel.AddRow(std::move(values));
+  }
+  return AddRelation(std::move(rel));
+}
+
+Result<std::string> Database::DumpCsv(const std::string& name) const {
+  NED_ASSIGN_OR_RETURN(const Relation* rel, GetRelation(name));
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  for (const auto& a : rel->schema().attributes()) header.push_back(a.name);
+  rows.push_back(std::move(header));
+  for (const auto& t : rel->rows()) {
+    std::vector<std::string> row;
+    for (const auto& v : t.values()) {
+      row.push_back(v.is_null() ? "" : v.ToString());
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += name + ": " + std::to_string(rel.size()) + " rows, schema " +
+           rel.schema().ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ned

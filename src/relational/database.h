@@ -1,0 +1,60 @@
+/// \file database.h
+/// \brief A database instance: named relations + CSV import/export.
+///
+/// Stands in for the PostgreSQL 9.2 backend of the paper's implementation.
+/// NedExplain only needs relation scans and id-addressed tuple access, both
+/// of which this in-memory catalog provides exactly.
+
+#ifndef NED_RELATIONAL_DATABASE_H_
+#define NED_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace ned {
+
+/// An instance I over a database schema S (paper Sec. 2.1).
+class Database {
+ public:
+  /// Registers an empty relation; error if the name exists.
+  Status CreateRelation(const std::string& name, Schema schema);
+
+  /// Adds (moves) a fully built relation.
+  Status AddRelation(Relation relation);
+
+  bool HasRelation(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+  /// Looks up a relation; error when absent.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  /// Relation names in insertion-independent (sorted) order.
+  std::vector<std::string> RelationNames() const;
+
+  size_t relation_count() const { return relations_.size(); }
+  /// Total row count across relations.
+  size_t TotalRows() const;
+
+  /// Loads a relation from CSV text. The header row gives attribute names,
+  /// which are qualified with `name` (e.g. header "aid,name" under relation
+  /// "A" becomes {A.aid, A.name}). Values parse leniently (int/double/string).
+  Status LoadCsv(const std::string& name, const std::string& csv_text);
+
+  /// Serialises a relation back to CSV (header uses unqualified names).
+  Result<std::string> DumpCsv(const std::string& name) const;
+
+  /// Multi-line summary of all relations.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_DATABASE_H_

@@ -1,0 +1,24 @@
+#include "relational/relation.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::vector<std::string> header;
+  for (const auto& a : schema_.attributes()) header.push_back(a.FullName());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    std::vector<std::string> row;
+    for (const auto& v : rows_[i].values()) row.push_back(v.ToString());
+    cells.push_back(std::move(row));
+  }
+  std::string out = name_ + " (" + std::to_string(rows_.size()) + " rows)\n";
+  out += RenderTable(header, cells);
+  if (rows_.size() > max_rows) {
+    out += "... " + std::to_string(rows_.size() - max_rows) + " more rows\n";
+  }
+  return out;
+}
+
+}  // namespace ned

@@ -1,0 +1,52 @@
+/// \file relation.h
+/// \brief A named, schema-typed collection of tuples.
+
+#ifndef NED_RELATIONAL_RELATION_H_
+#define NED_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace ned {
+
+/// A stored relation instance I|R. Rows are addressed by index; base TupleIds
+/// are assigned per query-input alias by QueryInput (see exec/), not here,
+/// because the same stored relation may back several aliases (self-joins).
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row; NED_CHECKs the arity.
+  void AddRow(Tuple t) {
+    NED_CHECK_MSG(t.size() == schema_.size(),
+                  "row arity mismatch for relation " + name_);
+    rows_.push_back(std::move(t));
+  }
+  /// Convenience: AddRow from a value list.
+  void AddRow(std::vector<Value> values) { AddRow(Tuple(std::move(values))); }
+
+  /// Multi-line debug rendering with header.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_RELATION_H_

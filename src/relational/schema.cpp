@@ -1,0 +1,90 @@
+#include "relational/schema.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+Schema::Schema(std::vector<Attribute> attrs) {
+  for (auto& a : attrs) Add(std::move(a));
+}
+
+void Schema::Add(Attribute attr) {
+  NED_CHECK_MSG(!IndexOf(attr).has_value(),
+                "duplicate attribute in schema: " + attr.FullName());
+  attrs_.push_back(std::move(attr));
+}
+
+std::optional<size_t> Schema::IndexOf(const Attribute& attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::Resolve(const Attribute& ref) const {
+  if (ref.qualified()) {
+    auto idx = IndexOf(ref);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute not in schema: " + ref.FullName() +
+                              " (schema " + ToString() + ")");
+    }
+    return *idx;
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == ref.name) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous attribute reference: " +
+                                       ref.name);
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("attribute not in schema: " + ref.name +
+                            " (schema " + ToString() + ")");
+  }
+  return *found;
+}
+
+std::vector<size_t> Schema::IndicesWithName(const std::string& name) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::ContainsAll(const Schema& other) const {
+  for (const auto& a : other.attributes()) {
+    if (!Contains(a)) return false;
+  }
+  return true;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  Schema out = *this;
+  for (const auto& a : other.attributes()) out.Add(a);
+  return out;
+}
+
+Result<Schema> Schema::Project(const std::vector<Attribute>& attrs) const {
+  Schema out;
+  for (const auto& a : attrs) {
+    if (!Contains(a)) {
+      return Status::NotFound("projection attribute not in schema: " +
+                              a.FullName());
+    }
+    out.Add(a);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& a : attrs_) names.push_back(a.FullName());
+  return "{" + Join(names, ", ") + "}";
+}
+
+}  // namespace ned

@@ -1,0 +1,72 @@
+/// \file schema.h
+/// \brief Ordered attribute lists (the paper's "types").
+///
+/// A Schema is the `type(t)` / `type(R)` of Sec. 2.1: an ordered set of
+/// attributes. Order matters for tuple layout; set operations (containment,
+/// intersection) are provided for the type-level reasoning the definitions
+/// use (e.g. Def. 2.8 compatibility intersects `type(t)` and `type(tc)`).
+
+#ifndef NED_RELATIONAL_SCHEMA_H_
+#define NED_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/attribute.h"
+
+namespace ned {
+
+/// An ordered list of distinct attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs);
+  Schema(std::initializer_list<Attribute> attrs)
+      : Schema(std::vector<Attribute>(attrs)) {}
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  const Attribute& at(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// Appends an attribute; NED_CHECKs against duplicates.
+  void Add(Attribute attr);
+
+  /// Index of an exactly matching attribute, or nullopt.
+  std::optional<size_t> IndexOf(const Attribute& attr) const;
+
+  /// Resolves a possibly-unqualified reference: if `ref` is qualified this is
+  /// IndexOf; otherwise the unique attribute whose name matches (error when
+  /// ambiguous or absent). This is what the SQL binder uses.
+  Result<size_t> Resolve(const Attribute& ref) const;
+
+  /// Indices of every attribute whose unqualified name equals `name`
+  /// (case-sensitive). Used by the Why-Not baseline's per-name matching.
+  std::vector<size_t> IndicesWithName(const std::string& name) const;
+
+  bool Contains(const Attribute& attr) const {
+    return IndexOf(attr).has_value();
+  }
+  /// True if every attribute of `other` occurs in this schema.
+  bool ContainsAll(const Schema& other) const;
+
+  /// Schema with this schema's attributes followed by `other`'s.
+  Schema Concat(const Schema& other) const;
+
+  /// Sub-schema in the order given by `attrs`; error if any is missing.
+  Result<Schema> Project(const std::vector<Attribute>& attrs) const;
+
+  /// "{A.name, A.dob}".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,32 @@
+#include "relational/tuple.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+std::string Tuple::ToString(const Schema& schema) const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    std::string name = i < schema.size() ? schema.at(i).FullName() : "?";
+    parts.push_back(name + ":" + values_[i].ToString());
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x345678;
+  for (const auto& v : values_) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+}  // namespace ned

@@ -1,0 +1,71 @@
+/// \file tuple.h
+/// \brief Tuples and stable base-tuple identifiers.
+///
+/// Base tuples (rows of the query input instance I_Q) carry a stable TupleId,
+/// mirroring the paper's assumption (footnote 2) that every table has a key
+/// attribute identifying each tuple. Lineage sets and compatible sets are
+/// sets of TupleIds. For self-joins, each *alias* of a relation gets its own
+/// id range: the same stored row seen through aliases C1 and C2 is two
+/// distinct tuples of I_Q (Def. 2.3's eta_Q), with distinct ids.
+
+#ifndef NED_RELATIONAL_TUPLE_H_
+#define NED_RELATIONAL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ned {
+
+/// Identifier of a base tuple of the query input instance.
+/// Layout: high 24 bits = alias ordinal within the query input; low 40 bits =
+/// row index. 0 is reserved as "invalid".
+using TupleId = uint64_t;
+
+inline constexpr TupleId kInvalidTupleId = 0;
+
+/// Packs an alias ordinal and row index into a TupleId (1-based alias so the
+/// id is never 0).
+inline TupleId MakeTupleId(uint32_t alias_ordinal, uint64_t row) {
+  return (static_cast<uint64_t>(alias_ordinal + 1) << 40) | (row & ((1ULL << 40) - 1));
+}
+inline uint32_t TupleIdAlias(TupleId id) {
+  return static_cast<uint32_t>(id >> 40) - 1;
+}
+inline uint64_t TupleIdRow(TupleId id) { return id & ((1ULL << 40) - 1); }
+
+/// A flat list of values; its type lives in the enclosing Relation / node.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  /// "(Homer, 800BC)" -- values only.
+  std::string ToString() const;
+  /// "(A.name:Homer, A.dob:800BC)" -- with attribute names from `schema`.
+  std::string ToString(const Schema& schema) const;
+
+  /// Order-sensitive value hash (for set semantics de-duplication).
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_TUPLE_H_

@@ -1,0 +1,150 @@
+#include "relational/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace ned {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+CompareOp NegateOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return CompareOp::kNe;
+    case CompareOp::kNe: return CompareOp::kEq;
+    case CompareOp::kLt: return CompareOp::kGe;
+    case CompareOp::kLe: return CompareOp::kGt;
+    case CompareOp::kGt: return CompareOp::kLe;
+    case CompareOp::kGe: return CompareOp::kLt;
+  }
+  return op;
+}
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;  // = and != are symmetric
+  }
+}
+
+double Value::NumericValue() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(as_int());
+    case ValueType::kDouble: return as_double();
+    default:
+      NED_CHECK_MSG(false, "NumericValue on non-numeric Value");
+      return 0;
+  }
+}
+
+std::optional<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.NumericValue(), y = b.NumericValue();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;  // string vs number: incomparable
+}
+
+bool Value::Satisfies(const Value& a, CompareOp op, const Value& b) {
+  std::optional<int> c = Compare(a, b);
+  if (!c.has_value()) return false;
+  switch (op) {
+    case CompareOp::kEq: return *c == 0;
+    case CompareOp::kNe: return *c != 0;
+    case CompareOp::kLt: return *c < 0;
+    case CompareOp::kLe: return *c <= 0;
+    case CompareOp::kGt: return *c > 0;
+    case CompareOp::kGe: return *c >= 0;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueType::kString: return as_string();
+  }
+  return "?";
+}
+
+Value Value::ParseLenient(const std::string& text) {
+  if (text.empty()) return Null();
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+
+  int64_t i = 0;
+  auto [p1, ec1] = std::from_chars(begin, end, i);
+  if (ec1 == std::errc() && p1 == end) return Int(i);
+
+  double d = 0;
+  auto [p2, ec2] = std::from_chars(begin, end, d);
+  if (ec2 == std::errc() && p2 == end) return Real(d);
+
+  return Str(text);
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      h ^= std::hash<int64_t>()(as_int());
+      break;
+    case ValueType::kDouble: {
+      // Hash doubles that equal an integer identically to that integer so
+      // that numeric-coerced equality groups hash consistently in joins.
+      double d = as_double();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        h = static_cast<size_t>(ValueType::kInt) * 0x9e3779b97f4a7c15ULL;
+        h ^= std::hash<int64_t>()(static_cast<int64_t>(d));
+      } else {
+        h ^= std::hash<double>()(d);
+      }
+      break;
+    }
+    case ValueType::kString:
+      h ^= std::hash<std::string>()(as_string());
+      break;
+  }
+  return h;
+}
+
+}  // namespace ned

@@ -1,0 +1,99 @@
+/// \file value.h
+/// \brief Typed scalar values stored in tuples.
+///
+/// The paper's data model is the standard relational model; values in the
+/// evaluation databases are integers, decimals and strings (plus SQL NULL).
+/// Comparisons follow SQL semantics with numeric coercion between int and
+/// double; NULL compares as unknown (all comparisons against NULL are false).
+
+#ifndef NED_RELATIONAL_VALUE_H_
+#define NED_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ned {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// Comparison operators (paper Def. 2.5's `cop`).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+/// Logical negation, e.g. Negate(kLt) == kGe.
+CompareOp NegateOp(CompareOp op);
+/// Mirror for swapped operands, e.g. Mirror(kLt) == kGt.
+CompareOp MirrorOp(CompareOp op);
+
+/// An immutable scalar value: NULL, 64-bit int, double, or string.
+class Value {
+ public:
+  /// Default-constructs NULL.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  /// Convenience for string literals.
+  static Value Str(const char* v) { return Str(std::string(v)); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view with int->double widening; NED_CHECKs on non-numeric.
+  double NumericValue() const;
+
+  /// Three-way comparison. Returns nullopt when incomparable (NULL involved,
+  /// or string vs number). Negative/zero/positive otherwise.
+  static std::optional<int> Compare(const Value& a, const Value& b);
+
+  /// Evaluates `a op b` with SQL-ish semantics: any NULL operand or a
+  /// string/number type clash yields false.
+  static bool Satisfies(const Value& a, CompareOp op, const Value& b);
+
+  /// Exact equality (same type and payload); NULL equals NULL here, unlike
+  /// Satisfies(kEq). Used for container membership, not query evaluation.
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Renders for display: NULL -> "NULL", strings unquoted.
+  std::string ToString() const;
+
+  /// Parses a CSV field: "" -> NULL, integral text -> Int, decimal -> Real,
+  /// otherwise Str.
+  static Value ParseLenient(const std::string& text);
+
+  /// Hash combining type and payload.
+  size_t Hash() const;
+
+ private:
+  using Payload = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Payload p) : data_(std::move(p)) {}
+  Payload data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ned
+
+#endif  // NED_RELATIONAL_VALUE_H_

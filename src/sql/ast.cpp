@@ -1,0 +1,4 @@
+#include "sql/ast.h"
+
+// AST types are plain data; this translation unit exists so the build
+// exercises the header under the project's warning flags.

@@ -1,0 +1,66 @@
+/// \file ast.h
+/// \brief Abstract syntax of the SQL subset.
+///
+/// Grammar (keywords case-insensitive):
+///   query   := block ((UNION | EXCEPT) block)*
+///   block   := SELECT item (',' item)* FROM table (',' table)*
+///              [WHERE comp (AND comp)*] [GROUP BY col (',' col)*]
+///   item    := col | fn '(' col ')' [AS ident] | '*'
+///   table   := ident [ident]                 -- table [alias]
+///   comp    := operand cop operand           -- cop in = != <> < <= > >=
+///   operand := col | int | decimal | 'string'
+///   col     := ident | ident '.' ident
+
+#ifndef NED_SQL_AST_H_
+#define NED_SQL_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/attribute.h"
+#include "relational/value.h"
+
+namespace ned {
+
+/// A SELECT-list item: a plain column or an aggregate call.
+struct SqlSelectItem {
+  bool is_aggregate = false;
+  std::string function;  ///< sum/count/avg/min/max when is_aggregate
+  Attribute column;      ///< possibly unqualified; resolved by the binder
+  std::string alias;     ///< AS name; defaulted by the binder when empty
+};
+
+/// One side of a comparison.
+struct SqlOperand {
+  bool is_column = false;
+  Attribute column;
+  Value literal;
+};
+
+/// A WHERE conjunct.
+struct SqlComparison {
+  SqlOperand left;
+  CompareOp op = CompareOp::kEq;
+  SqlOperand right;
+};
+
+/// One SELECT block.
+struct SqlSelectBlock {
+  bool select_star = false;
+  std::vector<SqlSelectItem> select;
+  std::vector<std::pair<std::string, std::string>> from;  ///< (table, alias)
+  std::vector<SqlComparison> where;
+  std::vector<Attribute> group_by;
+};
+
+/// A full query: one or more blocks joined by UNION / EXCEPT.
+/// `except_before[i]` is true when blocks[i] and blocks[i+1] are connected
+/// by EXCEPT rather than UNION.
+struct SqlQuery {
+  std::vector<SqlSelectBlock> blocks;
+  std::vector<bool> except_before;
+};
+
+}  // namespace ned
+
+#endif  // NED_SQL_AST_H_

@@ -1,0 +1,222 @@
+#include "sql/binder.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace ned {
+namespace {
+
+/// Per-block name resolution context.
+class BlockBinder {
+ public:
+  BlockBinder(const SqlSelectBlock& ast, const Database& db)
+      : ast_(ast), db_(db) {}
+
+  Result<QueryBlock> Bind() {
+    QueryBlock block;
+    NED_RETURN_NOT_OK(BindFrom(&block));
+    NED_RETURN_NOT_OK(BindWhere(&block));
+    NED_RETURN_NOT_OK(BindSelect(&block));
+    return block;
+  }
+
+ private:
+  Status BindFrom(QueryBlock* block) {
+    if (ast_.from.empty()) return Status::InvalidArgument("empty FROM list");
+    for (const auto& [table, alias] : ast_.from) {
+      NED_ASSIGN_OR_RETURN(const Relation* rel, db_.GetRelation(table));
+      if (alias_schemas_.count(alias) > 0) {
+        return Status::InvalidArgument("duplicate alias in FROM: " + alias);
+      }
+      Schema qualified;
+      for (const auto& a : rel->schema().attributes()) {
+        qualified.Add(Attribute(alias, a.name));
+      }
+      alias_schemas_.emplace(alias, std::move(qualified));
+      alias_order_.push_back(alias);
+      block->tables.push_back({alias, table});
+    }
+    return Status::OK();
+  }
+
+  /// Resolves a (possibly unqualified) column reference to a qualified
+  /// attribute of one alias.
+  Result<Attribute> Resolve(const Attribute& ref) const {
+    if (ref.qualified()) {
+      auto it = alias_schemas_.find(ref.qualifier);
+      if (it == alias_schemas_.end()) {
+        return Status::NotFound("unknown alias: " + ref.qualifier);
+      }
+      if (!it->second.Contains(ref)) {
+        return Status::NotFound("no attribute " + ref.FullName());
+      }
+      return ref;
+    }
+    std::optional<Attribute> found;
+    for (const auto& alias : alias_order_) {
+      const Schema& schema = alias_schemas_.at(alias);
+      for (const auto& a : schema.attributes()) {
+        if (a.name == ref.name) {
+          if (found.has_value()) {
+            return Status::InvalidArgument("ambiguous column: " + ref.name);
+          }
+          found = a;
+        }
+      }
+    }
+    if (!found.has_value()) {
+      return Status::NotFound("unknown column: " + ref.name);
+    }
+    return *found;
+  }
+
+  std::string FreshJoinName(const Attribute& left, const Attribute& right) {
+    std::string base = left.name == right.name
+                           ? left.name
+                           : left.name + "_" + right.name;
+    std::string name = base;
+    int suffix = 2;
+    while (!used_names_.insert(name).second) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    join_names_.push_back(name);
+    return name;
+  }
+
+  /// Resolves a SELECT/GROUP BY reference: alias attributes first, then the
+  /// fresh names introduced by join renamings ("SELECT name FROM M, R WHERE
+  /// M.name = R.name" projects the renamed attribute).
+  Result<Attribute> ResolveOutput(const Attribute& ref) const {
+    Result<Attribute> direct = Resolve(ref);
+    if (direct.ok()) return direct;
+    if (!ref.qualified()) {
+      for (const auto& name : join_names_) {
+        if (name == ref.name) return Attribute::Unqualified(name);
+      }
+    }
+    return direct;
+  }
+
+  Status BindWhere(QueryBlock* block) {
+    for (const auto& comp : ast_.where) {
+      if (comp.left.is_column && comp.right.is_column) {
+        NED_ASSIGN_OR_RETURN(Attribute l, Resolve(comp.left.column));
+        NED_ASSIGN_OR_RETURN(Attribute r, Resolve(comp.right.column));
+        if (comp.op == CompareOp::kEq && l.qualifier != r.qualifier) {
+          block->joins.push_back({l, r, FreshJoinName(l, r)});
+          continue;
+        }
+        block->selections.push_back(
+            Cmp(std::make_shared<ColumnRef>(l), comp.op,
+                std::make_shared<ColumnRef>(r)));
+        continue;
+      }
+      // Column-vs-literal (either side).
+      if (comp.left.is_column) {
+        NED_ASSIGN_OR_RETURN(Attribute l, Resolve(comp.left.column));
+        block->selections.push_back(Cmp(std::make_shared<ColumnRef>(l),
+                                        comp.op, Lit(comp.right.literal)));
+      } else if (comp.right.is_column) {
+        NED_ASSIGN_OR_RETURN(Attribute r, Resolve(comp.right.column));
+        block->selections.push_back(Cmp(Lit(comp.left.literal),
+                                        comp.op,
+                                        std::make_shared<ColumnRef>(r)));
+      } else {
+        return Status::InvalidArgument(
+            "WHERE conjunct compares two literals");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status BindSelect(QueryBlock* block) {
+    if (ast_.select_star) return Status::OK();  // project everything
+
+    bool any_aggregate = false;
+    for (const auto& item : ast_.select) {
+      if (item.is_aggregate) any_aggregate = true;
+    }
+    if (any_aggregate || !ast_.group_by.empty()) {
+      AggSpec agg;
+      for (const auto& g : ast_.group_by) {
+        NED_ASSIGN_OR_RETURN(Attribute resolved, ResolveOutput(g));
+        agg.group_by.push_back(resolved);
+      }
+      for (const auto& item : ast_.select) {
+        if (!item.is_aggregate) {
+          NED_ASSIGN_OR_RETURN(Attribute resolved, ResolveOutput(item.column));
+          bool grouped = false;
+          for (const auto& g : agg.group_by) {
+            if (g == resolved) grouped = true;
+          }
+          if (!grouped) {
+            return Status::InvalidArgument(
+                "non-aggregated SELECT column must appear in GROUP BY: " +
+                resolved.FullName());
+          }
+          block->projection.push_back(resolved);
+          continue;
+        }
+        NED_ASSIGN_OR_RETURN(Attribute arg, ResolveOutput(item.column));
+        AggFn fn;
+        if (item.function == "sum") fn = AggFn::kSum;
+        else if (item.function == "count") fn = AggFn::kCount;
+        else if (item.function == "avg") fn = AggFn::kAvg;
+        else if (item.function == "min") fn = AggFn::kMin;
+        else if (item.function == "max") fn = AggFn::kMax;
+        else return Status::InvalidArgument("unknown aggregate " + item.function);
+        std::string out = item.alias.empty()
+                              ? item.function + "_" + arg.name
+                              : item.alias;
+        if (!used_names_.insert(out).second) {
+          return Status::InvalidArgument("duplicate output name: " + out);
+        }
+        agg.calls.push_back({fn, arg, out});
+        block->projection.push_back(Attribute::Unqualified(out));
+      }
+      block->agg = std::move(agg);
+      return Status::OK();
+    }
+
+    for (const auto& item : ast_.select) {
+      NED_ASSIGN_OR_RETURN(Attribute resolved, ResolveOutput(item.column));
+      block->projection.push_back(resolved);
+    }
+    return Status::OK();
+  }
+
+  const SqlSelectBlock& ast_;
+  const Database& db_;
+  std::map<std::string, Schema> alias_schemas_;
+  std::vector<std::string> alias_order_;
+  std::set<std::string> used_names_;
+  std::vector<std::string> join_names_;
+};
+
+}  // namespace
+
+Result<QuerySpec> BindSql(const SqlQuery& ast, const Database& db) {
+  QuerySpec spec;
+  for (const auto& block_ast : ast.blocks) {
+    BlockBinder binder(block_ast, db);
+    NED_ASSIGN_OR_RETURN(QueryBlock block, binder.Bind());
+    spec.blocks.push_back(std::move(block));
+  }
+  for (bool except : ast.except_before) {
+    spec.set_ops.push_back(except ? SetOpKind::kDifference
+                                  : SetOpKind::kUnion);
+  }
+  return spec;
+}
+
+Result<QueryTree> CompileSql(const std::string& sql, const Database& db,
+                             const CanonicalizeOptions& options) {
+  NED_ASSIGN_OR_RETURN(SqlQuery ast, ParseSql(sql));
+  NED_ASSIGN_OR_RETURN(QuerySpec spec, BindSql(ast, db));
+  return Canonicalize(spec, db, options);
+}
+
+}  // namespace ned

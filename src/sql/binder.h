@@ -1,0 +1,30 @@
+/// \file binder.h
+/// \brief Name resolution: SQL AST -> logical QuerySpec.
+///
+/// The binder resolves (possibly unqualified) column references against the
+/// FROM aliases, classifies WHERE conjuncts into equi-join predicates
+/// (between two aliases) versus selections, and derives the renaming names
+/// introduced by joins (Def. 2.1's fresh unqualified attributes).
+
+#ifndef NED_SQL_BINDER_H_
+#define NED_SQL_BINDER_H_
+
+#include <string>
+
+#include "algebra/query_tree.h"
+#include "canonical/canonicalizer.h"
+#include "canonical/query_spec.h"
+#include "sql/ast.h"
+
+namespace ned {
+
+/// Binds a parsed query against `db`, producing a canonicalizable spec.
+Result<QuerySpec> BindSql(const SqlQuery& ast, const Database& db);
+
+/// One-stop: parse + bind + canonicalize.
+Result<QueryTree> CompileSql(const std::string& sql, const Database& db,
+                             const CanonicalizeOptions& options = {});
+
+}  // namespace ned
+
+#endif  // NED_SQL_BINDER_H_

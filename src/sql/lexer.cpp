@@ -1,0 +1,108 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ned {
+
+bool Token::IsKeyword(const std::string& upper) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, upper);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // A dot not followed by a digit ends the number (attr syntax).
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            break;
+          }
+          is_double = true;
+        }
+        ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.literal = Value::Real(std::stod(text));
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.literal = Value::Int(std::stoll(text));
+      }
+      tok.text = text;
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(StrCat("unterminated string literal at ",
+                                         tok.position));
+      }
+      tok.kind = TokenKind::kString;
+      tok.literal = Value::Str(text);
+      tok.text = text;
+    } else {
+      // Multi-char operators first.
+      auto two = sql.substr(i, 2);
+      if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two == "<>" ? "!=" : two;
+        i += 2;
+      } else if (std::string(",.()*=<>").find(c) != std::string::npos) {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(StrCat("unexpected character '", c, "' at ",
+                                         i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace ned

@@ -1,0 +1,42 @@
+/// \file lexer.h
+/// \brief Tokenizer for the SQL subset (SELECT/FROM/WHERE/GROUP BY/UNION).
+
+#ifndef NED_SQL_LEXER_H_
+#define NED_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace ned {
+
+enum class TokenKind {
+  kIdent,    ///< bare identifier (keywords are classified by the parser)
+  kInt,      ///< integer literal
+  kDouble,   ///< decimal literal
+  kString,   ///< 'single-quoted' string literal
+  kSymbol,   ///< one of , . ( ) * = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< identifier/symbol text (identifiers keep case)
+  Value literal;      ///< for kInt/kDouble/kString
+  size_t position = 0;  ///< byte offset, for error messages
+
+  bool IsSymbol(const std::string& s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test on identifiers.
+  bool IsKeyword(const std::string& upper) const;
+};
+
+/// Tokenizes `sql`; the final token is kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace ned
+
+#endif  // NED_SQL_LEXER_H_

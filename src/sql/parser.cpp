@@ -1,0 +1,195 @@
+#include "sql/parser.h"
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace ned {
+namespace {
+
+const char* kAggregateFunctions[] = {"sum", "count", "avg", "min", "max"};
+
+bool IsAggregateFunction(const std::string& ident) {
+  for (const char* fn : kAggregateFunctions) {
+    if (EqualsIgnoreCase(ident, fn)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlQuery> Parse() {
+    SqlQuery query;
+    NED_ASSIGN_OR_RETURN(SqlSelectBlock block, ParseBlock());
+    query.blocks.push_back(std::move(block));
+    while (Peek().IsKeyword("UNION") || Peek().IsKeyword("EXCEPT")) {
+      query.except_before.push_back(Peek().IsKeyword("EXCEPT"));
+      Advance();
+      NED_ASSIGN_OR_RETURN(SqlSelectBlock next, ParseBlock());
+      query.blocks.push_back(std::move(next));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StrCat(msg, " (near offset ", Peek().position,
+                                     ", token '", Peek().text, "')"));
+  }
+
+  Status Expect(const std::string& symbol) {
+    if (!Peek().IsSymbol(symbol)) return Err("expected '" + symbol + "'");
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!Peek().IsKeyword(kw)) return Err("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Attribute> ParseColumn() {
+    if (Peek().kind != TokenKind::kIdent) return Err("expected column name");
+    std::string first = Advance().text;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) {
+        return Err("expected attribute after '.'");
+      }
+      return Attribute(first, Advance().text);
+    }
+    return Attribute("", first);
+  }
+
+  Result<SqlSelectItem> ParseSelectItem() {
+    SqlSelectItem item;
+    if (Peek().kind == TokenKind::kIdent && IsAggregateFunction(Peek().text) &&
+        Peek(1).IsSymbol("(")) {
+      item.is_aggregate = true;
+      item.function = ToLower(Advance().text);
+      NED_RETURN_NOT_OK(Expect("("));
+      NED_ASSIGN_OR_RETURN(item.column, ParseColumn());
+      NED_RETURN_NOT_OK(Expect(")"));
+    } else {
+      NED_ASSIGN_OR_RETURN(item.column, ParseColumn());
+    }
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) return Err("expected alias after AS");
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<SqlOperand> ParseOperand() {
+    SqlOperand operand;
+    switch (Peek().kind) {
+      case TokenKind::kIdent: {
+        operand.is_column = true;
+        NED_ASSIGN_OR_RETURN(operand.column, ParseColumn());
+        return operand;
+      }
+      case TokenKind::kInt:
+      case TokenKind::kDouble:
+      case TokenKind::kString:
+        operand.literal = Advance().literal;
+        return operand;
+      default:
+        return Err("expected column or literal");
+    }
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    if (Peek().kind != TokenKind::kSymbol) return Err("expected comparison");
+    std::string sym = Advance().text;
+    if (sym == "=") return CompareOp::kEq;
+    if (sym == "!=") return CompareOp::kNe;
+    if (sym == "<") {
+      if (Peek().IsSymbol("=")) { Advance(); return CompareOp::kLe; }
+      return CompareOp::kLt;
+    }
+    if (sym == "<=") return CompareOp::kLe;
+    if (sym == ">") {
+      if (Peek().IsSymbol("=")) { Advance(); return CompareOp::kGe; }
+      return CompareOp::kGt;
+    }
+    if (sym == ">=") return CompareOp::kGe;
+    return Err("unknown comparison operator '" + sym + "'");
+  }
+
+  Result<SqlSelectBlock> ParseBlock() {
+    SqlSelectBlock block;
+    NED_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      block.select_star = true;
+    } else {
+      while (true) {
+        NED_ASSIGN_OR_RETURN(SqlSelectItem item, ParseSelectItem());
+        block.select.push_back(std::move(item));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    NED_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Err("expected table name");
+      std::string table = Advance().text;
+      std::string alias = table;
+      if (Peek().kind == TokenKind::kIdent && !Peek().IsKeyword("WHERE") &&
+          !Peek().IsKeyword("GROUP") && !Peek().IsKeyword("UNION") &&
+          !Peek().IsKeyword("EXCEPT")) {
+        alias = Advance().text;
+      }
+      block.from.emplace_back(table, alias);
+      if (!Peek().IsSymbol(",")) break;
+      Advance();
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        SqlComparison comp;
+        NED_ASSIGN_OR_RETURN(comp.left, ParseOperand());
+        NED_ASSIGN_OR_RETURN(comp.op, ParseCompareOp());
+        NED_ASSIGN_OR_RETURN(comp.right, ParseOperand());
+        block.where.push_back(std::move(comp));
+        if (!Peek().IsKeyword("AND")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      NED_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        NED_ASSIGN_OR_RETURN(Attribute col, ParseColumn());
+        block.group_by.push_back(std::move(col));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    return block;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlQuery> ParseSql(const std::string& sql) {
+  NED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace ned

@@ -1,0 +1,20 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for the SQL subset.
+
+#ifndef NED_SQL_PARSER_H_
+#define NED_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace ned {
+
+/// Parses `sql` into an AST. Errors carry the byte offset of the offending
+/// token.
+Result<SqlQuery> ParseSql(const std::string& sql);
+
+}  // namespace ned
+
+#endif  // NED_SQL_PARSER_H_

@@ -1,0 +1,62 @@
+#include "whynot/ctuple.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+CTuple& CTuple::Add(const std::string& dotted_attr, Value v) {
+  return AddField(Attribute::Parse(dotted_attr), CValue::Const(std::move(v)));
+}
+
+CTuple& CTuple::AddVar(const std::string& dotted_attr, std::string var) {
+  return AddField(Attribute::Parse(dotted_attr), CValue::Var(std::move(var)));
+}
+
+CTuple& CTuple::AddField(Attribute attr, CValue value) {
+  fields_.emplace_back(std::move(attr), std::move(value));
+  return *this;
+}
+
+CTuple& CTuple::Where(CPred pred) {
+  cond_.push_back(std::move(pred));
+  return *this;
+}
+
+CTuple& CTuple::Where(std::string var, CompareOp op, Value constant) {
+  return Where(CPred::VsConst(std::move(var), op, std::move(constant)));
+}
+
+Schema CTuple::Type() const {
+  Schema type;
+  for (const auto& [attr, _] : fields_) {
+    if (!type.Contains(attr)) type.Add(attr);
+  }
+  return type;
+}
+
+const CValue* CTuple::Find(const Attribute& attr) const {
+  for (const auto& [a, v] : fields_) {
+    if (a == attr) return &v;
+  }
+  return nullptr;
+}
+
+std::string CTuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const auto& [attr, value] : fields_) {
+    parts.push_back(attr.FullName() + ":" + value.ToString());
+  }
+  std::string tuple = "(" + Join(parts, ", ") + ")";
+  if (cond_.empty()) return tuple;
+  return "(" + tuple + ", " + ConditionToString(cond_) + ")";
+}
+
+std::string WhyNotQuestion::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(ctuples_.size());
+  for (const auto& tc : ctuples_) parts.push_back(tc.ToString());
+  return Join(parts, " OR ");
+}
+
+}  // namespace ned

@@ -1,0 +1,115 @@
+/// \file ctuple.h
+/// \brief v-tuples, conditional tuples and Why-Not questions (Defs. 2.4-2.6).
+///
+/// A Why-Not question w.r.t. a query Q is a predicate P over Q's target type:
+/// a disjunction of c-tuples. Each c-tuple pairs attributes with either a
+/// constant ("I want name Homer") or a variable ("some price x1"), plus a
+/// conjunctive condition on the variables ("x1 > 25").
+
+#ifndef NED_WHYNOT_CTUPLE_H_
+#define NED_WHYNOT_CTUPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/condition.h"
+#include "relational/attribute.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace ned {
+
+/// A c-tuple field entry: a constant or a variable (Def. 2.4's e_i).
+struct CValue {
+  bool is_var = false;
+  Value constant;   ///< when !is_var
+  std::string var;  ///< when is_var
+
+  static CValue Const(Value v) {
+    CValue c;
+    c.constant = std::move(v);
+    return c;
+  }
+  static CValue Var(std::string name) {
+    CValue c;
+    c.is_var = true;
+    c.var = std::move(name);
+    return c;
+  }
+
+  std::string ToString() const {
+    return is_var ? var : constant.ToString();
+  }
+
+  bool operator==(const CValue& other) const {
+    return is_var == other.is_var && constant == other.constant &&
+           var == other.var;
+  }
+};
+
+/// A conditional tuple (Def. 2.5): a v-tuple plus a conjunctive condition.
+class CTuple {
+ public:
+  CTuple() = default;
+
+  /// Adds a constant field, e.g. Add("A.name", Value::Str("Homer")).
+  CTuple& Add(const std::string& dotted_attr, Value v);
+  /// Adds a variable field, e.g. AddVar("ap", "x1").
+  CTuple& AddVar(const std::string& dotted_attr, std::string var);
+  /// Adds a field with an explicit attribute.
+  CTuple& AddField(Attribute attr, CValue value);
+  /// Adds a condition conjunct.
+  CTuple& Where(CPred pred);
+  /// Sugar: Where("x1", CompareOp::kGt, Value::Int(25)).
+  CTuple& Where(std::string var, CompareOp op, Value constant);
+
+  const std::vector<std::pair<Attribute, CValue>>& fields() const {
+    return fields_;
+  }
+  const std::vector<CPred>& cond() const { return cond_; }
+  bool empty() const { return fields_.empty(); }
+
+  /// type(tc): the set of attributes in the v-tuple.
+  Schema Type() const;
+
+  /// The field for `attr`, or nullptr.
+  const CValue* Find(const Attribute& attr) const;
+
+  /// "((A.name:Homer, ap:x1), x1 > 25)".
+  std::string ToString() const;
+
+  bool operator==(const CTuple& other) const {
+    return fields_ == other.fields_;  // cond compared separately when needed
+  }
+
+ private:
+  std::vector<std::pair<Attribute, CValue>> fields_;
+  std::vector<CPred> cond_;
+};
+
+/// A Why-Not question (Def. 2.6): a disjunction of c-tuples over Q's target
+/// type.
+class WhyNotQuestion {
+ public:
+  WhyNotQuestion() = default;
+  explicit WhyNotQuestion(CTuple single) { ctuples_.push_back(std::move(single)); }
+
+  WhyNotQuestion& AddCTuple(CTuple tc) {
+    ctuples_.push_back(std::move(tc));
+    return *this;
+  }
+
+  const std::vector<CTuple>& ctuples() const { return ctuples_; }
+  bool empty() const { return ctuples_.empty(); }
+
+  /// "tc1 OR tc2".
+  std::string ToString() const;
+
+ private:
+  std::vector<CTuple> ctuples_;
+};
+
+}  // namespace ned
+
+#endif  // NED_WHYNOT_CTUPLE_H_

@@ -1,0 +1,135 @@
+#include "whynot/unrenaming.h"
+
+#include <set>
+
+namespace ned {
+namespace {
+
+/// Collects every join renaming triple in the subtree under `node`
+/// (stopping at nested unions, which our query class does not produce below
+/// joins).
+void CollectJoinTriples(const OperatorNode* node,
+                        std::vector<RenameTriple>* out) {
+  if (node->kind == OpKind::kJoin) {
+    for (const auto& t : node->renaming.triples()) out->push_back(t);
+  }
+  for (const auto& child : node->children) {
+    CollectJoinTriples(child.get(), out);
+  }
+}
+
+/// Expands one c-tuple against a block's join renamings to a fixpoint: a
+/// field on a fresh attribute Anew is replaced by two fields on A1 and A2
+/// (the `./` merge of Def. 2.7 / Ex. 2.2 -- both land in the *same* c-tuple,
+/// since a join requires both origins to carry the value). Returns nullopt
+/// when the expansion produces contradictory constant fields.
+std::optional<CTuple> ExpandJoins(const CTuple& tc,
+                                  const std::vector<RenameTriple>& triples) {
+  std::vector<std::pair<Attribute, CValue>> work(tc.fields().begin(),
+                                                 tc.fields().end());
+  std::vector<std::pair<Attribute, CValue>> done;
+  // Each iteration either finishes a field or replaces it by two strictly
+  // "earlier" fields (renaming chains are acyclic), so this terminates.
+  while (!work.empty()) {
+    auto [attr, value] = work.back();
+    work.pop_back();
+    const RenameTriple* triple = nullptr;
+    if (!attr.qualified()) {
+      for (const auto& t : triples) {
+        if (t.anew == attr.name) {
+          triple = &t;
+          break;
+        }
+      }
+    }
+    if (triple == nullptr) {
+      // Terminal field: qualified attribute or aggregation output.
+      bool duplicate = false;
+      for (const auto& [a, v] : done) {
+        if (a == attr) {
+          if (v == value) {
+            duplicate = true;
+            break;
+          }
+          if (!v.is_var && !value.is_var &&
+              !Value::Satisfies(v.constant, CompareOp::kEq, value.constant)) {
+            return std::nullopt;  // contradictory constants for one attribute
+          }
+        }
+      }
+      if (!duplicate) done.emplace_back(std::move(attr), std::move(value));
+      continue;
+    }
+    work.emplace_back(triple->a1, value);
+    work.emplace_back(triple->a2, value);
+  }
+  CTuple out;
+  for (auto& [attr, value] : done) out.AddField(attr, value);
+  for (const auto& pred : tc.cond()) out.Where(pred);
+  return out;
+}
+
+/// nu|i^-1 for a union node: replaces union-output names by the side's
+/// attribute.
+CTuple InverseUnionSide(const CTuple& tc, const Renaming& renaming, int side) {
+  CTuple out;
+  for (const auto& [attr, value] : tc.fields()) {
+    if (!attr.qualified()) {
+      std::optional<RenameTriple> triple = renaming.FindByNewName(attr.name);
+      if (triple.has_value()) {
+        out.AddField(side == 1 ? triple->a1 : triple->a2, value);
+        continue;
+      }
+    }
+    out.AddField(attr, value);
+  }
+  for (const auto& pred : tc.cond()) out.Where(pred);
+  return out;
+}
+
+/// Descends through union nodes (forking one disjunct per operand) and
+/// expands join renamings within each union-free block.
+void Unrename(const OperatorNode* node, const CTuple& tc,
+              std::vector<CTuple>* out) {
+  if (node->kind == OpKind::kDifference) {
+    // Only left tuples can appear in a difference's output, so the question
+    // unrenames through the left operand (the right operand's data can only
+    // be responsible by *presence*, which pickiness at the difference node
+    // captures).
+    Unrename(node->children[0].get(), InverseUnionSide(tc, node->renaming, 1),
+             out);
+    return;
+  }
+  if (node->kind == OpKind::kUnion) {
+    Unrename(node->children[0].get(), InverseUnionSide(tc, node->renaming, 1),
+             out);
+    Unrename(node->children[1].get(), InverseUnionSide(tc, node->renaming, 2),
+             out);
+    return;
+  }
+  std::vector<RenameTriple> triples;
+  CollectJoinTriples(node, &triples);
+  std::optional<CTuple> expanded = ExpandJoins(tc, triples);
+  if (expanded.has_value()) out->push_back(std::move(*expanded));
+}
+
+}  // namespace
+
+Result<std::vector<CTuple>> UnrenameCTuple(const QueryTree& tree,
+                                           const CTuple& tc) {
+  std::vector<CTuple> out;
+  Unrename(tree.root(), tc, &out);
+  return out;
+}
+
+Result<WhyNotQuestion> UnrenameQuestion(const QueryTree& tree,
+                                        const WhyNotQuestion& question) {
+  WhyNotQuestion out;
+  for (const auto& tc : question.ctuples()) {
+    NED_ASSIGN_OR_RETURN(std::vector<CTuple> unrenamed, UnrenameCTuple(tree, tc));
+    for (auto& u : unrenamed) out.AddCTuple(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace ned

@@ -1,0 +1,37 @@
+/// \file unrenaming.h
+/// \brief Unrenaming of Why-Not predicates (paper Def. 2.7).
+///
+/// A Why-Not question is phrased over the query's target type, which may
+/// contain new attributes introduced by join/union renamings (e.g. `aid`, or
+/// `name` in use case Imdb2). To locate compatible tuples in the query input
+/// instance, each c-tuple is rewritten to mention only qualified attributes
+/// of S_Q (plus aggregation outputs, which stay): join renamings expand one
+/// field into both originating fields within the *same* c-tuple (the `./`
+/// merge of Ex. 2.2), union renamings *fork* the c-tuple into one disjunct
+/// per operand.
+
+#ifndef NED_WHYNOT_UNRENAMING_H_
+#define NED_WHYNOT_UNRENAMING_H_
+
+#include <vector>
+
+#include "algebra/query_tree.h"
+#include "common/status.h"
+#include "whynot/ctuple.h"
+
+namespace ned {
+
+/// UnR_Q(tc): rewrites one c-tuple against the renamings of `tree`. The
+/// result is a disjunction (unions fork; join merges may drop contradictory
+/// combinations, yielding possibly fewer tuples).
+Result<std::vector<CTuple>> UnrenameCTuple(const QueryTree& tree,
+                                           const CTuple& tc);
+
+/// Unrenames every disjunct of a question; the result is the unrenamed
+/// predicate associated with P given Q.
+Result<WhyNotQuestion> UnrenameQuestion(const QueryTree& tree,
+                                        const WhyNotQuestion& question);
+
+}  // namespace ned
+
+#endif  // NED_WHYNOT_UNRENAMING_H_

@@ -1,0 +1,229 @@
+/// \file algebra_test.cpp
+/// \brief Unit tests for renamings, operator nodes and query-tree
+/// finalization (schema derivation, TabQ ordering, validation).
+
+#include <gtest/gtest.h>
+
+#include "algebra/query_tree.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+
+// ---- renaming -----------------------------------------------------------------
+
+TEST(Renaming, ApplyMapsBothOrigins) {
+  Renaming nu;
+  nu.Add({"A", "aid"}, {"AB", "aid"}, "aid");
+  EXPECT_EQ(nu.Apply({"A", "aid"}).FullName(), "aid");
+  EXPECT_EQ(nu.Apply({"AB", "aid"}).FullName(), "aid");
+  EXPECT_EQ(nu.Apply({"A", "name"}).FullName(), "A.name");
+}
+
+TEST(Renaming, FindByNewName) {
+  Renaming nu;
+  nu.Add({"A", "aid"}, {"AB", "aid"}, "aid");
+  auto triple = nu.FindByNewName("aid");
+  ASSERT_TRUE(triple.has_value());
+  EXPECT_EQ(triple->a1.FullName(), "A.aid");
+  EXPECT_FALSE(nu.FindByNewName("xyz").has_value());
+}
+
+// ---- operator nodes --------------------------------------------------------------
+
+TEST(OperatorNode, FactoriesSetKindAndChildren) {
+  auto scan = OperatorNode::MakeScan("R1", "R");
+  EXPECT_EQ(scan->kind, OpKind::kScan);
+  EXPECT_TRUE(scan->is_leaf());
+  auto select = OperatorNode::MakeSelect(std::move(scan),
+                                         Gt(Col("R1", "k"), Lit(int64_t{5})));
+  EXPECT_EQ(select->kind, OpKind::kSelect);
+  EXPECT_EQ(select->children.size(), 1u);
+  EXPECT_FALSE(select->is_binary());
+}
+
+TEST(OperatorNode, DescribeIsInformative) {
+  auto scan = OperatorNode::MakeScan("C2", "C");
+  EXPECT_EQ(scan->Describe(), "scan C as C2");
+  auto same = OperatorNode::MakeScan("C", "C");
+  EXPECT_EQ(same->Describe(), "scan C");
+}
+
+TEST(OperatorNode, SubtreeRelations) {
+  Database db = MakeTinyDb();
+  QueryTree tree = testing::MustCompile(
+      "SELECT R.v FROM R, S WHERE R.k = S.k AND R.id > 0", db);
+  const OperatorNode* root = tree.root();
+  const OperatorNode* leaf = tree.bottom_up()[0];
+  EXPECT_TRUE(OperatorNode::IsInSubtree(root, leaf));
+  EXPECT_FALSE(OperatorNode::IsInSubtree(leaf, root));
+  EXPECT_TRUE(OperatorNode::IsSameOrAncestor(leaf, root));
+  EXPECT_TRUE(OperatorNode::IsInSubtree(root, root));
+}
+
+// ---- query tree finalization -------------------------------------------------------
+
+std::unique_ptr<OperatorNode> ScanR() { return OperatorNode::MakeScan("R", "R"); }
+std::unique_ptr<OperatorNode> ScanS() { return OperatorNode::MakeScan("S", "S"); }
+
+TEST(QueryTree, ScanSchemaIsQualifiedByAlias) {
+  Database db = MakeTinyDb();
+  auto tree = QueryTree::Create(OperatorNode::MakeScan("R2", "R"), db);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->target_type().ToString(), "{R2.id, R2.k, R2.v}");
+}
+
+TEST(QueryTree, SelectKeepsType) {
+  Database db = MakeTinyDb();
+  auto tree = QueryTree::Create(
+      OperatorNode::MakeSelect(ScanR(), Gt(Col("R", "k"), Lit(int64_t{5}))), db);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->target_type().size(), 3u);
+}
+
+TEST(QueryTree, SelectRejectsForeignAttributes) {
+  Database db = MakeTinyDb();
+  auto tree = QueryTree::Create(
+      OperatorNode::MakeSelect(ScanR(), Gt(Col("S", "w"), Lit(int64_t{5}))), db);
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(QueryTree, JoinRenamesAndMergesTypes) {
+  Database db = MakeTinyDb();
+  Renaming nu;
+  nu.Add({"R", "k"}, {"S", "k"}, "k");
+  auto tree = QueryTree::Create(
+      OperatorNode::MakeJoin(ScanR(), ScanS(), nu), db);
+  ASSERT_TRUE(tree.ok());
+  // R.id, k, R.v from the left; S.id, S.w from the right (S.k merged into k).
+  EXPECT_EQ(tree->target_type().ToString(), "{R.id, k, R.v, S.id, S.w}");
+}
+
+TEST(QueryTree, JoinRejectsUnknownRenamingAttr) {
+  Database db = MakeTinyDb();
+  Renaming nu;
+  nu.Add({"R", "nope"}, {"S", "k"}, "k");
+  EXPECT_FALSE(QueryTree::Create(
+                   OperatorNode::MakeJoin(ScanR(), ScanS(), nu), db)
+                   .ok());
+}
+
+TEST(QueryTree, DuplicateAliasRejected) {
+  Database db = MakeTinyDb();
+  Renaming nu;
+  nu.Add({"R", "k"}, {"R", "k"}, "k");
+  auto join = OperatorNode::MakeJoin(ScanR(), ScanR(), nu);
+  EXPECT_FALSE(QueryTree::Create(std::move(join), db).ok());
+}
+
+TEST(QueryTree, UnionRequiresMatchingTypes) {
+  Database db = MakeTinyDb();
+  // project both sides to one column, rename to a common name.
+  auto left = OperatorNode::MakeProject(ScanR(), {Attribute("R", "v")});
+  auto right = OperatorNode::MakeProject(ScanS(), {Attribute("S", "w")});
+  Renaming nu;
+  nu.Add({"R", "v"}, {"S", "w"}, "val");
+  auto tree = QueryTree::Create(
+      OperatorNode::MakeUnion(std::move(left), std::move(right), nu), db);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->target_type().ToString(), "{val}");
+
+  // Mismatched arity fails.
+  auto left2 = OperatorNode::MakeProject(ScanR(), {Attribute("R", "v")});
+  auto right2 = ScanS();
+  Renaming nu2;
+  nu2.Add({"R", "v"}, {"S", "w"}, "val");
+  EXPECT_FALSE(QueryTree::Create(OperatorNode::MakeUnion(std::move(left2),
+                                                         std::move(right2), nu2),
+                                 db)
+                   .ok());
+}
+
+TEST(QueryTree, AggregateSchemaIsGroupPlusOutputs) {
+  Database db = MakeTinyDb();
+  auto tree = QueryTree::Create(
+      OperatorNode::MakeAggregate(ScanR(), {Attribute("R", "k")},
+                                  {{AggFn::kSum, Attribute("R", "id"), "s"}}),
+      db);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->target_type().ToString(), "{R.k, s}");
+}
+
+TEST(QueryTree, AggregateValidatesAttributes) {
+  Database db = MakeTinyDb();
+  EXPECT_FALSE(QueryTree::Create(
+                   OperatorNode::MakeAggregate(
+                       ScanR(), {Attribute("R", "nope")},
+                       {{AggFn::kSum, Attribute("R", "id"), "s"}}),
+                   db)
+                   .ok());
+  EXPECT_FALSE(QueryTree::Create(
+                   OperatorNode::MakeAggregate(ScanR(), {Attribute("R", "k")},
+                                               {}),
+                   db)
+                   .ok());
+}
+
+TEST(QueryTree, BottomUpOrderIsDecreasingDepthLeftToRight) {
+  Database db = MakeTinyDb();
+  // pi( sigma( R join S ) ): levels pi=0, sigma=1, join=2, scans=3.
+  Renaming nu;
+  nu.Add({"R", "k"}, {"S", "k"}, "k");
+  auto join = OperatorNode::MakeJoin(ScanR(), ScanS(), nu);
+  auto select = OperatorNode::MakeSelect(std::move(join),
+                                         Gt(Col("R", "id"), Lit(int64_t{0})));
+  auto project =
+      OperatorNode::MakeProject(std::move(select), {Attribute("R", "v")});
+  auto tree = QueryTree::Create(std::move(project), db);
+  ASSERT_TRUE(tree.ok());
+  const auto& order = tree->bottom_up();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0]->alias, "R");     // deepest, leftmost
+  EXPECT_EQ(order[1]->alias, "S");
+  EXPECT_EQ(order[2]->kind, OpKind::kJoin);
+  EXPECT_EQ(order[3]->kind, OpKind::kSelect);
+  EXPECT_EQ(order[4]->kind, OpKind::kProject);
+  // Names follow the order; levels decrease.
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i]->name, "m" + std::to_string(i));
+    if (i > 0) {
+      EXPECT_LE(order[i]->level, order[i - 1]->level);
+    }
+  }
+  // Parent pointers are consistent.
+  for (const OperatorNode* node : order) {
+    for (const auto& child : node->children) {
+      EXPECT_EQ(child->parent, node);
+      EXPECT_EQ(child->level, node->level + 1);
+    }
+  }
+}
+
+TEST(QueryTree, FindByName) {
+  Database db = MakeTinyDb();
+  QueryTree tree = testing::MustCompile("SELECT R.v FROM R WHERE R.k > 5", db);
+  EXPECT_NE(tree.FindByName("m0"), nullptr);
+  EXPECT_EQ(tree.FindByName("m99"), nullptr);
+}
+
+TEST(QueryTree, AliasToTableRecordsEtaQ) {
+  Database db = MakeTinyDb();
+  QueryTree tree = testing::MustCompile(
+      "SELECT R1.v FROM R R1, R R2 WHERE R1.k = R2.k", db);
+  const auto& eta = tree.alias_to_table();
+  EXPECT_EQ(eta.at("R1"), "R");
+  EXPECT_EQ(eta.at("R2"), "R");
+}
+
+TEST(QueryTree, WrongChildCountRejected) {
+  Database db = MakeTinyDb();
+  auto node = std::make_unique<OperatorNode>();
+  node->kind = OpKind::kSelect;  // no child attached
+  node->predicate = Gt(Col("R", "k"), Lit(int64_t{1}));
+  EXPECT_FALSE(QueryTree::Create(std::move(node), db).ok());
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,0 +1,231 @@
+/// \file canonical_test.cpp
+/// \brief Tests for the canonical tree construction (paper Sec. 3.1, 2b):
+/// selection placement at the visibility frontier, breakpoint view V, union
+/// assembly, and the naive-placement ablation switch.
+
+#include <gtest/gtest.h>
+
+#include "core/nedexplain.h"
+#include "sql/parser.h"
+#include "datasets/running_example.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+using testing::MustCompile;
+
+/// Finds the unique node of a kind (asserts uniqueness).
+const OperatorNode* TheNode(const QueryTree& tree, OpKind kind) {
+  const OperatorNode* found = nullptr;
+  for (const OperatorNode* node : tree.bottom_up()) {
+    if (node->kind == kind) {
+      NED_CHECK(found == nullptr);
+      found = node;
+    }
+  }
+  return found;
+}
+
+TEST(Canonicalizer, SingleTableSelectionsAboveScan) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R WHERE R.k > 5 AND R.id = 1",
+                               db);
+  // scan -> sigma -> sigma -> pi, selections in WHERE order bottom-up.
+  const auto& order = tree.bottom_up();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0]->kind, OpKind::kScan);
+  EXPECT_EQ(order[1]->kind, OpKind::kSelect);
+  EXPECT_EQ(order[2]->kind, OpKind::kSelect);
+  EXPECT_EQ(order[3]->kind, OpKind::kProject);
+  EXPECT_TRUE(order[0]->is_breakpoint);  // leaves are breakpoints without agg
+}
+
+TEST(Canonicalizer, SelectionsPushToTheirLeaf) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R.v FROM R, S WHERE R.k = S.k AND S.w = 'x'", db);
+  const OperatorNode* select = TheNode(tree, OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+  // The S selection sits directly above the S scan, below the join.
+  ASSERT_EQ(select->children.size(), 1u);
+  EXPECT_EQ(select->children[0]->kind, OpKind::kScan);
+  EXPECT_EQ(select->children[0]->alias, "S");
+  EXPECT_EQ(select->parent->kind, OpKind::kJoin);
+}
+
+TEST(Canonicalizer, MultiAliasSelectionAboveTheJoin) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R1.v FROM R R1, R R2 WHERE R1.k = R2.k AND R1.id != R2.id", db);
+  const OperatorNode* select = TheNode(tree, OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->children[0]->kind, OpKind::kJoin);
+}
+
+TEST(Canonicalizer, NaivePlacementStacksSelectionsOnTop) {
+  Database db = MakeTinyDb();
+  CanonicalizeOptions naive;
+  naive.place_selections_at_frontier = false;
+  QueryTree tree = MustCompile(
+      "SELECT R.v FROM R, S WHERE R.k = S.k AND S.w = 'x'", db, naive);
+  const OperatorNode* select = TheNode(tree, OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+  // Naive mode: the selection sits above the full join.
+  EXPECT_EQ(select->children[0]->kind, OpKind::kJoin);
+}
+
+TEST(Canonicalizer, BothPlacementsComputeTheSameResult) {
+  Database db = MakeTinyDb();
+  const char* sql = "SELECT R.v FROM R, S WHERE R.k = S.k AND S.w = 'x'";
+  CanonicalizeOptions naive;
+  naive.place_selections_at_frontier = false;
+  QueryTree frontier_tree = MustCompile(sql, db);
+  QueryTree naive_tree = MustCompile(sql, db, naive);
+  auto a = testing::MustEvaluate(frontier_tree, db);
+  auto b = testing::MustEvaluate(naive_tree, db);
+  EXPECT_EQ(testing::Column(a, frontier_tree.target_type(), "R.v"),
+            testing::Column(b, naive_tree.target_type(), "R.v"));
+}
+
+TEST(Canonicalizer, RunningExampleMatchesFig1c) {
+  auto db = BuildRunningExampleDb();
+  ASSERT_TRUE(db.ok());
+  auto tree = BuildRunningExampleTree(*db);
+  ASSERT_TRUE(tree.ok());
+  // Fig. 1(c): alpha over sigma(dob) over ((A join AB) join B); the dob
+  // selection was pulled *above* the full join because V must cover A.name
+  // and B.price.
+  const OperatorNode* root = tree->root();
+  EXPECT_EQ(root->kind, OpKind::kAggregate);
+  const OperatorNode* select = root->children[0].get();
+  EXPECT_EQ(select->kind, OpKind::kSelect);
+  const OperatorNode* join_top = select->children[0].get();
+  EXPECT_EQ(join_top->kind, OpKind::kJoin);
+  EXPECT_TRUE(join_top->is_breakpoint);
+  EXPECT_EQ(join_top->children[1]->alias, "B");
+  const OperatorNode* join_low = join_top->children[0].get();
+  EXPECT_EQ(join_low->kind, OpKind::kJoin);
+  EXPECT_EQ(join_low->children[0]->alias, "A");
+  EXPECT_EQ(join_low->children[1]->alias, "AB");
+}
+
+TEST(Canonicalizer, BreakpointIsDeepestCoveringNode) {
+  // Grouping on the *join* attribute: after renaming, the group attribute
+  // `k` only exists from the join onward, so V is the join node.
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R.k, sum(R.id) AS s FROM R, S WHERE R.k = S.k GROUP BY R.k", db);
+  auto v = DetermineBreakpoint(tree);
+  ASSERT_TRUE(v.ok());
+  ASSERT_NE(*v, nullptr);
+  EXPECT_EQ((*v)->kind, OpKind::kJoin);
+}
+
+TEST(Canonicalizer, BreakpointIsMinimalForNonJoinAttributes) {
+  // Grouping and aggregating attributes untouched by the renaming: the
+  // deepest covering node is the R scan itself.
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R.v, sum(R.id) AS s FROM R, S WHERE R.k = S.k GROUP BY R.v", db);
+  auto v = DetermineBreakpoint(tree);
+  ASSERT_TRUE(v.ok());
+  ASSERT_NE(*v, nullptr);
+  EXPECT_EQ((*v)->kind, OpKind::kScan);
+  EXPECT_EQ((*v)->alias, "R");
+}
+
+TEST(Canonicalizer, NoAggregateMeansNoBreakpoint) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R", db);
+  auto v = DetermineBreakpoint(tree);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, nullptr);
+}
+
+TEST(Canonicalizer, AggSelectionsStackAboveV) {
+  // Aggregation needing both relations: V = the join; the R-local selection
+  // must sit above V, not above the R scan.
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R.v, count(S.w) AS c FROM R, S "
+      "WHERE R.k = S.k AND R.id > 0 GROUP BY R.v",
+      db);
+  const OperatorNode* select = TheNode(tree, OpKind::kSelect);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->children[0]->kind, OpKind::kJoin);
+  EXPECT_TRUE(select->children[0]->is_breakpoint);
+}
+
+TEST(Canonicalizer, DisconnectedAliasesCrossProduct) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v, S.w FROM R, S", db);
+  const OperatorNode* join = TheNode(tree, OpKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_TRUE(join->renaming.empty());
+  auto out = testing::MustEvaluate(tree, db);
+  EXPECT_EQ(out.size(), 6u);  // 3 x 2
+}
+
+TEST(Canonicalizer, UnionBuildsRenamedRoot) {
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "x\n1\n").ok());
+  NED_CHECK(db.LoadCsv("B", "y\n2\n").ok());
+  auto ast_tree = CompileSql("SELECT A.x FROM A UNION SELECT B.y FROM B", db);
+  ASSERT_TRUE(ast_tree.ok()) << ast_tree.status().ToString();
+  EXPECT_EQ(ast_tree->root()->kind, OpKind::kUnion);
+  // Default union output name comes from the left side.
+  EXPECT_EQ(ast_tree->target_type().ToString(), "{x}");
+  auto out = testing::MustEvaluate(*ast_tree, db);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Canonicalizer, UnionCustomNames) {
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "x\n1\n").ok());
+  NED_CHECK(db.LoadCsv("B", "y\n1\n").ok());
+  auto ast = ParseSql("SELECT A.x FROM A UNION SELECT B.y FROM B");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok());
+  spec->union_names = {"name"};
+  auto tree = Canonicalize(*spec, db);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->target_type().ToString(), "{name}");
+  // Value-equal rows from both sides merge (set semantics).
+  auto out = testing::MustEvaluate(*tree, db);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Canonicalizer, UnionArityMismatchRejected) {
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "x,z\n1,2\n").ok());
+  NED_CHECK(db.LoadCsv("B", "y\n2\n").ok());
+  EXPECT_FALSE(
+      CompileSql("SELECT A.x, A.z FROM A UNION SELECT B.y FROM B", db).ok());
+}
+
+TEST(Canonicalizer, ChainedRenamingsSubstitute) {
+  // Q3-style chain: C2.sector renamed by the first join, then W joins the
+  // *renamed* attribute -- the second triple must reference the new name.
+  Database db;
+  NED_CHECK(db.LoadCsv("C", "id,type,sector\n1,Aiding,5\n2,Theft,5\n").ok());
+  NED_CHECK(db.LoadCsv("W", "id,name,sector\n1,Sue,5\n").ok());
+  QueryTree tree = MustCompile(
+      "SELECT W.name, C2.type FROM C C2, C C1, W "
+      "WHERE C2.sector = C1.sector AND W.sector = C2.sector",
+      db);
+  auto out = testing::MustEvaluate(tree, db);
+  EXPECT_EQ(out.size(), 2u);  // (Sue,Aiding) (Sue,Theft)
+}
+
+TEST(Canonicalizer, EmptySpecRejected) {
+  Database db = MakeTinyDb();
+  EXPECT_FALSE(Canonicalize(QuerySpec{}, db).ok());
+  QueryBlock empty_block;
+  EXPECT_FALSE(Canonicalize(QuerySpec{{empty_block}, {}, {}}, db).ok());
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,0 +1,230 @@
+/// \file common_test.cpp
+/// \brief Unit tests for the common layer: strings, status, CSV, RNG, timers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace ned {
+namespace {
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "zz"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("GROUPS", "group"));
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("m12", "m"));
+  EXPECT_FALSE(StartsWith("m", "m12"));
+}
+
+TEST(Strings, StrCat) {
+  EXPECT_EQ(StrCat("m", 3, " picky=", true), "m3 picky=1");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");  // never truncates
+}
+
+TEST(Strings, RenderTableAlignsColumns) {
+  std::string table = RenderTable({"a", "bb"}, {{"xxx", "y"}, {"z", "wwww"}});
+  std::vector<std::string> lines = Split(table, '\n');
+  ASSERT_GE(lines.size(), 5u);
+  for (const auto& line : lines) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), lines[0].size());
+    }
+  }
+  EXPECT_NE(table.find("xxx"), std::string::npos);
+  EXPECT_NE(table.find("wwww"), std::string::npos);
+}
+
+// ---- status -------------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: missing thing");
+}
+
+TEST(Result, ValueAccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorAccess) {
+  Result<int> r = Status::ParseError("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  NED_ASSIGN_OR_RETURN(int h, Half(x));
+  NED_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+// ---- csv ---------------------------------------------------------------------
+
+TEST(Csv, ParsesSimpleRows) {
+  auto doc = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, HandlesQuotingAndEscapes) {
+  auto doc = ParseCsv("name\n\"says \"\"hi\"\", twice\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][0], "says \"hi\", twice");
+}
+
+TEST(Csv, HandlesCrLfAndMissingFinalNewline) {
+  auto doc = ParseCsv("a,b\r\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, EmptyTrailingFieldSurvives) {
+  auto doc = ParseCsv("a,b\n1,\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(Csv, WriteRoundTrips) {
+  std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"plain", "with,comma"}, {"with\"quote", "with\nnewline"}};
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, rows);
+}
+
+// ---- rng ----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, PickCoversElements) {
+  Rng rng(1);
+  std::vector<int> values = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.Pick(values));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ---- timer ---------------------------------------------------------------------
+
+TEST(Timer, PhaseAccumulation) {
+  PhaseTimer timer;
+  timer.Add("a", 100);
+  timer.Add("a", 50);
+  timer.Add("b", 25);
+  EXPECT_EQ(timer.Nanos("a"), 150);
+  EXPECT_EQ(timer.Nanos("b"), 25);
+  EXPECT_EQ(timer.Nanos("absent"), 0);
+  EXPECT_EQ(timer.TotalNanos(), 175);
+  timer.Reset();
+  EXPECT_EQ(timer.TotalNanos(), 0);
+}
+
+TEST(Timer, ScopeChargesElapsedTime) {
+  PhaseTimer timer;
+  {
+    PhaseTimer::Scope scope(&timer, "phase");
+    volatile int sink = 0;
+    for (int i = 0; i < 10000; ++i) sink = sink + i;
+    (void)sink;
+  }
+  EXPECT_GT(timer.Nanos("phase"), 0);
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch watch;
+  int64_t t1 = watch.ElapsedNanos();
+  int64_t t2 = watch.ElapsedNanos();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0);
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,0 +1,177 @@
+/// \file integration_test.cpp
+/// \brief Full-pipeline integration tests: SQL text -> parse -> bind ->
+/// canonicalize -> evaluate -> explain, plus CSV persistence round trips.
+
+#include <gtest/gtest.h>
+
+#include "baseline/whynot_baseline.h"
+#include "core/nedexplain.h"
+#include "datasets/running_example.h"
+#include "datasets/use_cases.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::Column;
+using testing::MustCompile;
+using testing::MustEvaluate;
+using testing::MustExplain;
+
+TEST(Integration, RunningExampleQueryResult) {
+  // Fig. 1: the query result is exactly (Sophocles, 49).
+  auto db = BuildRunningExampleDb();
+  ASSERT_TRUE(db.ok());
+  auto tree = BuildRunningExampleTree(*db);
+  ASSERT_TRUE(tree.ok());
+  auto out = MustEvaluate(*tree, *db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values.at(0).as_string(), "Sophocles");
+  EXPECT_DOUBLE_EQ(out[0].values.at(1).as_double(), 49.0);
+}
+
+TEST(Integration, UseCaseQueriesProduceSaneResults) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  // Q1 (Crime1): the result is non-empty and contains car thefts -- that is
+  // what misleads the baseline on Crime1/2.
+  auto uc = registry->Find("Crime1");
+  ASSERT_TRUE(uc.ok());
+  auto tree = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree.ok());
+  auto out = MustEvaluate(*tree, registry->database("crime"));
+  EXPECT_FALSE(out.empty());
+  auto types = Column(out, tree->target_type(), "C.type");
+  EXPECT_NE(std::find(types.begin(), types.end(), "Car theft"), types.end());
+  // But never paired with Hank or Roger.
+  const Schema& type = tree->target_type();
+  size_t name_idx = *type.IndexOf(Attribute::Parse("P.name"));
+  size_t type_idx = *type.IndexOf(Attribute::Parse("C.type"));
+  for (const auto& t : out) {
+    if (t.values.at(type_idx).as_string() == "Car theft") {
+      EXPECT_NE(t.values.at(name_idx).as_string(), "Hank");
+      EXPECT_NE(t.values.at(name_idx).as_string(), "Roger");
+    }
+  }
+}
+
+TEST(Integration, Q2HasEmptyResult) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  auto uc = registry->Find("Crime3");
+  ASSERT_TRUE(uc.ok());
+  auto tree = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree.ok());
+  auto out = MustEvaluate(*tree, registry->database("crime"));
+  EXPECT_TRUE(out.empty());  // sector > 99 matches nothing
+}
+
+TEST(Integration, CsvRoundTripPreservesAnswers) {
+  // Dump the crime database to CSV, reload it, and verify Crime6's answer
+  // is unchanged (id-stability across persistence).
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  const Database& crime = registry->database("crime");
+
+  Database reloaded;
+  for (const auto& name : crime.RelationNames()) {
+    auto csv = crime.DumpCsv(name);
+    ASSERT_TRUE(csv.ok());
+    ASSERT_TRUE(reloaded.LoadCsv(name, *csv).ok());
+  }
+
+  auto uc = registry->Find("Crime6");
+  ASSERT_TRUE(uc.ok());
+  auto tree1 = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree1.ok());
+  auto tree2 = Canonicalize((*uc)->spec, reloaded);
+  ASSERT_TRUE(tree2.ok());
+
+  auto r1 = MustExplain(*tree1, crime, (*uc)->question);
+  auto r2 = MustExplain(*tree2, reloaded, (*uc)->question);
+  EXPECT_EQ(r1.answer.detailed.size(), r2.answer.detailed.size());
+  EXPECT_EQ(testing::CondensedNames(r1.answer),
+            testing::CondensedNames(r2.answer));
+}
+
+TEST(Integration, ExplainIsDeterministicAcrossRuns) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  for (const char* name : {"Crime2", "Gov1", "Imdb2"}) {
+    auto uc = registry->Find(name);
+    ASSERT_TRUE(uc.ok());
+    auto tree = registry->BuildTree(**uc);
+    ASSERT_TRUE(tree.ok());
+    const Database& db = registry->database((*uc)->db_name);
+    auto r1 = MustExplain(*tree, db, (*uc)->question);
+    auto r2 = MustExplain(*tree, db, (*uc)->question);
+    ASSERT_EQ(r1.answer.detailed.size(), r2.answer.detailed.size()) << name;
+    for (size_t i = 0; i < r1.answer.detailed.size(); ++i) {
+      EXPECT_EQ(r1.answer.detailed[i].dir_tuple,
+                r2.answer.detailed[i].dir_tuple);
+      EXPECT_EQ(r1.answer.detailed[i].subquery->name,
+                r2.answer.detailed[i].subquery->name);
+    }
+  }
+}
+
+TEST(Integration, RegistryRebuildIsDeterministic) {
+  auto r1 = UseCaseRegistry::Build();
+  auto r2 = UseCaseRegistry::Build();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  for (const char* db_name : {"crime", "imdb", "gov"}) {
+    const Database& a = r1->database(db_name);
+    const Database& b = r2->database(db_name);
+    ASSERT_EQ(a.RelationNames(), b.RelationNames());
+    for (const auto& rel_name : a.RelationNames()) {
+      auto ra = a.GetRelation(rel_name);
+      auto rb = b.GetRelation(rel_name);
+      ASSERT_EQ((*ra)->size(), (*rb)->size()) << db_name << "." << rel_name;
+      for (size_t i = 0; i < (*ra)->size(); ++i) {
+        ASSERT_EQ((*ra)->row(i), (*rb)->row(i));
+      }
+    }
+  }
+}
+
+TEST(Integration, FreshSqlQueryOverTheCrimeDb) {
+  // A query not in the use-case registry exercises the whole pipeline.
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  const Database& db = registry->database("crime");
+  QueryTree tree = MustCompile(
+      "SELECT W.name FROM W, C WHERE W.sector = C.sector "
+      "AND C.type = 'Kidnapping'",
+      db);
+  auto out = MustEvaluate(tree, db);
+  EXPECT_TRUE(out.empty());  // nobody witnesses in the kidnapping sectors
+
+  CTuple tc;
+  tc.Add("W.name", Value::Str("Susan"));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  ASSERT_EQ(result.answer.condensed.size(), 1u);
+  EXPECT_EQ(result.answer.condensed[0]->kind, OpKind::kJoin);
+}
+
+TEST(Integration, BaselineAndNedAgreeOnSimpleSingleCulprit) {
+  // When exactly one selection is responsible and traces are simple, both
+  // algorithms converge on the same operator.
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "id,grade\n1,A\n2,B\n").ok());
+  QueryTree tree = MustCompile("SELECT T.id FROM T WHERE T.grade = 'A'", db);
+  CTuple tc;
+  tc.Add("T.id", Value::Int(2));
+  WhyNotQuestion q{tc};
+  auto ned = MustExplain(tree, db, q);
+  auto baseline = WhyNotBaseline::Create(&tree, &db);
+  ASSERT_TRUE(baseline.ok());
+  auto base = baseline->Explain(q);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(ned.answer.condensed.size(), 1u);
+  ASSERT_EQ(base->answer.size(), 1u);
+  EXPECT_EQ(ned.answer.condensed[0], base->answer[0]);
+}
+
+}  // namespace
+}  // namespace ned

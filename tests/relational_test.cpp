@@ -1,0 +1,196 @@
+/// \file relational_test.cpp
+/// \brief Unit tests for attributes, schemas, tuples, relations, databases.
+
+#include <gtest/gtest.h>
+
+#include "relational/attribute.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace ned {
+namespace {
+
+// ---- attribute ----------------------------------------------------------------
+
+TEST(Attribute, ParseQualified) {
+  Attribute a = Attribute::Parse("A.dob");
+  EXPECT_EQ(a.qualifier, "A");
+  EXPECT_EQ(a.name, "dob");
+  EXPECT_TRUE(a.qualified());
+  EXPECT_EQ(a.FullName(), "A.dob");
+}
+
+TEST(Attribute, ParseUnqualified) {
+  Attribute a = Attribute::Parse("aid");
+  EXPECT_FALSE(a.qualified());
+  EXPECT_EQ(a.FullName(), "aid");
+}
+
+TEST(Attribute, EqualityRequiresBothParts) {
+  EXPECT_EQ(Attribute("A", "x"), Attribute("A", "x"));
+  EXPECT_NE(Attribute("A", "x"), Attribute("B", "x"));
+  EXPECT_NE(Attribute("A", "x"), Attribute("", "x"));
+}
+
+TEST(Attribute, OrderingIsTotal) {
+  Attribute a("A", "x"), b("B", "a"), c("A", "y");
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_FALSE(a < a);
+}
+
+// ---- schema ---------------------------------------------------------------------
+
+TEST(Schema, IndexAndContains) {
+  Schema schema({{"R", "a"}, {"R", "b"}});
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(*schema.IndexOf({"R", "b"}), 1u);
+  EXPECT_FALSE(schema.IndexOf({"R", "c"}).has_value());
+  EXPECT_TRUE(schema.Contains({"R", "a"}));
+}
+
+TEST(Schema, ResolveQualified) {
+  Schema schema({{"R", "a"}, {"S", "a"}});
+  auto idx = schema.Resolve(Attribute("S", "a"));
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(schema.Resolve(Attribute("T", "a")).ok());
+}
+
+TEST(Schema, ResolveUnqualifiedUniqueAndAmbiguous) {
+  Schema schema({{"R", "a"}, {"S", "a"}, {"R", "b"}});
+  auto unique = schema.Resolve(Attribute("", "b"));
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(*unique, 2u);
+  EXPECT_FALSE(schema.Resolve(Attribute("", "a")).ok());  // ambiguous
+  EXPECT_FALSE(schema.Resolve(Attribute("", "z")).ok());  // absent
+}
+
+TEST(Schema, IndicesWithNameIgnoresQualifier) {
+  Schema schema({{"C1", "type"}, {"C2", "type"}, {"C1", "sector"}});
+  EXPECT_EQ(schema.IndicesWithName("type"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(schema.IndicesWithName("zzz"), (std::vector<size_t>{}));
+}
+
+TEST(Schema, ConcatAndContainsAll) {
+  Schema a({{"R", "x"}});
+  Schema b({{"S", "y"}, {"S", "z"}});
+  Schema both = a.Concat(b);
+  EXPECT_EQ(both.size(), 3u);
+  EXPECT_TRUE(both.ContainsAll(a));
+  EXPECT_TRUE(both.ContainsAll(b));
+  EXPECT_FALSE(a.ContainsAll(both));
+}
+
+TEST(Schema, ProjectPreservesOrderAndValidates) {
+  Schema schema({{"R", "a"}, {"R", "b"}, {"R", "c"}});
+  auto projected = schema.Project({{"R", "c"}, {"R", "a"}});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->at(0).name, "c");
+  EXPECT_EQ(projected->at(1).name, "a");
+  EXPECT_FALSE(schema.Project({{"R", "nope"}}).ok());
+}
+
+TEST(Schema, ToStringListsQualifiedNames) {
+  Schema schema({{"A", "name"}, {"", "ap"}});
+  EXPECT_EQ(schema.ToString(), "{A.name, ap}");
+}
+
+// ---- tuple ----------------------------------------------------------------------
+
+TEST(TupleId, PackUnpackRoundTrip) {
+  TupleId id = MakeTupleId(3, 12345);
+  EXPECT_EQ(TupleIdAlias(id), 3u);
+  EXPECT_EQ(TupleIdRow(id), 12345u);
+  EXPECT_NE(id, kInvalidTupleId);
+  // Alias 0, row 0 is still a valid (non-zero) id.
+  EXPECT_NE(MakeTupleId(0, 0), kInvalidTupleId);
+}
+
+TEST(Tuple, ToStringVariants) {
+  Tuple t({Value::Str("Homer"), Value::Int(-800)});
+  EXPECT_EQ(t.ToString(), "(Homer, -800)");
+  Schema schema({{"A", "name"}, {"A", "dob"}});
+  EXPECT_EQ(t.ToString(schema), "(A.name:Homer, A.dob:-800)");
+}
+
+TEST(Tuple, HashAndEquality) {
+  Tuple a({Value::Int(1), Value::Str("x")});
+  Tuple b({Value::Int(1), Value::Str("x")});
+  Tuple c({Value::Str("x"), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);  // order-sensitive
+}
+
+// ---- relation ---------------------------------------------------------------------
+
+TEST(Relation, AddAndAccessRows) {
+  Relation r("R", Schema({{"R", "a"}}));
+  r.AddRow({Value::Int(1)});
+  r.AddRow({Value::Int(2)});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.row(1).at(0).as_int(), 2);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(RelationDeathTest, RejectsWrongArity) {
+  Relation r("R", Schema({{"R", "a"}, {"R", "b"}}));
+  EXPECT_DEATH(r.AddRow({Value::Int(1)}), "arity");
+}
+
+// ---- database ---------------------------------------------------------------------
+
+TEST(Database, CreateAndLookup) {
+  Database db;
+  NED_CHECK(db.CreateRelation("R", Schema({{"R", "a"}})).ok());
+  EXPECT_TRUE(db.HasRelation("R"));
+  EXPECT_FALSE(db.HasRelation("S"));
+  EXPECT_TRUE(db.GetRelation("R").ok());
+  EXPECT_FALSE(db.GetRelation("S").ok());
+  EXPECT_FALSE(db.CreateRelation("R", Schema({{"R", "a"}})).ok());  // dup
+}
+
+TEST(Database, LoadCsvQualifiesAndTypes) {
+  Database db;
+  auto status = db.LoadCsv("A", "aid,name,dob\na1,Homer,-800\na2,Sophocles,-400\n");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  auto rel = db.GetRelation("A");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 2u);
+  EXPECT_EQ((*rel)->schema().at(0).FullName(), "A.aid");
+  EXPECT_EQ((*rel)->row(0).at(2).type(), ValueType::kInt);
+  EXPECT_EQ((*rel)->row(0).at(1).as_string(), "Homer");
+}
+
+TEST(Database, LoadCsvRejectsRaggedRows) {
+  Database db;
+  EXPECT_FALSE(db.LoadCsv("A", "a,b\n1\n").ok());
+}
+
+TEST(Database, DumpCsvRoundTrips) {
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "aid,name\na1,Homer\na2,\"quo\"\"ted\"\n").ok());
+  auto csv = db.DumpCsv("A");
+  ASSERT_TRUE(csv.ok());
+  Database db2;
+  NED_CHECK(db2.LoadCsv("A", *csv).ok());
+  auto a = db.GetRelation("A"), b = db2.GetRelation("A");
+  ASSERT_EQ((*a)->size(), (*b)->size());
+  for (size_t i = 0; i < (*a)->size(); ++i) {
+    EXPECT_EQ((*a)->row(i), (*b)->row(i));
+  }
+}
+
+TEST(Database, TotalRowsAndNames) {
+  Database db;
+  NED_CHECK(db.LoadCsv("B", "x\n1\n2\n").ok());
+  NED_CHECK(db.LoadCsv("A", "y\n1\n").ok());
+  EXPECT_EQ(db.TotalRows(), 3u);
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace ned

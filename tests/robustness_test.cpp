@@ -1,0 +1,224 @@
+/// \file robustness_test.cpp
+/// \brief Failure injection and edge cases across the public API: malformed
+/// questions, empty instances, degenerate queries, and error propagation.
+
+#include <gtest/gtest.h>
+
+#include "baseline/whynot_baseline.h"
+#include "core/nedexplain.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+using testing::MustCompile;
+using testing::MustExplain;
+
+// ---- degenerate instances ---------------------------------------------------------
+
+TEST(Robustness, EmptyBaseRelation) {
+  Database db;
+  NED_CHECK(db.LoadCsv("R", "id,v\n").ok());  // header only
+  QueryTree tree = MustCompile("SELECT R.v FROM R WHERE R.v > 1", db);
+  CTuple tc;
+  tc.Add("R.v", Value::Int(5));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  // No compatible tuple exists; the answer is empty, not an error.
+  EXPECT_TRUE(result.answer.detailed.empty());
+  EXPECT_EQ(result.dir_total, 0u);
+}
+
+TEST(Robustness, AllRelationsEmptyWithJoins) {
+  Database db;
+  NED_CHECK(db.LoadCsv("R", "id,k\n").ok());
+  NED_CHECK(db.LoadCsv("S", "id,k\n").ok());
+  QueryTree tree = MustCompile("SELECT R.id FROM R, S WHERE R.k = S.k", db);
+  CTuple tc;
+  tc.Add("R.id", Value::Int(1));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  EXPECT_TRUE(result.answer.detailed.empty());
+  auto baseline = WhyNotBaseline::Create(&tree, &db);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline->Explain(WhyNotQuestion(tc)).ok());
+}
+
+TEST(Robustness, SingleRowSingleColumn) {
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "x\n1\n").ok());
+  QueryTree tree = MustCompile("SELECT T.x FROM T WHERE T.x > 5", db);
+  CTuple tc;
+  tc.Add("T.x", Value::Int(1));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  ASSERT_EQ(result.answer.detailed.size(), 1u);
+  EXPECT_EQ(result.answer.detailed[0].subquery->kind, OpKind::kSelect);
+}
+
+// ---- malformed questions -----------------------------------------------------------
+
+TEST(Robustness, QuestionWithUnknownAttributeFails) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("Z.nope", Value::Int(1));  // alias Z does not exist
+  auto result = engine->Explain(WhyNotQuestion(tc));
+  // Unknown alias: the relation is simply "not referenced"; the question
+  // yields an empty Dir but no crash.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dir_total, 0u);
+}
+
+TEST(Robustness, QuestionWithUnknownUnqualifiedAttributeErrors) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("mystery", Value::Int(1));
+  auto result = engine->Explain(WhyNotQuestion(tc));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Robustness, EmptyQuestionIsHarmless) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  WhyNotQuestion empty;
+  auto result = engine->Explain(empty);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answer.empty());
+  EXPECT_TRUE(result->per_ctuple.empty());
+}
+
+TEST(Robustness, UnsatisfiableConditionYieldsEmptyDir) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.k FROM R", db);
+  CTuple tc;
+  tc.AddVar("R.k", "x")
+      .Where("x", CompareOp::kGt, Value::Int(10))
+      .Where("x", CompareOp::kLt, Value::Int(0));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  EXPECT_EQ(result.dir_total, 0u);
+  EXPECT_TRUE(result.answer.empty());
+}
+
+TEST(Robustness, TypeMismatchedQuestionValueMatchesNothing) {
+  Database db = MakeTinyDb();  // R.k is an int column
+  QueryTree tree = MustCompile("SELECT R.k FROM R", db);
+  CTuple tc;
+  tc.Add("R.k", Value::Str("ten"));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  EXPECT_EQ(result.dir_total, 0u);
+}
+
+TEST(Robustness, ManyDisjunctsScale) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.id FROM R WHERE R.k = 999", db);
+  WhyNotQuestion question;
+  for (int i = 0; i < 50; ++i) {
+    CTuple tc;
+    tc.Add("R.id", Value::Int(i % 3 + 1));
+    question.AddCTuple(std::move(tc));
+  }
+  auto result = MustExplain(tree, db, question);
+  EXPECT_EQ(result.per_ctuple.size(), 50u);
+  // All three rows die at the selection, however often they are asked about.
+  for (const auto& entry : result.answer.detailed) {
+    EXPECT_EQ(entry.subquery->kind, OpKind::kSelect);
+  }
+  EXPECT_EQ(result.answer.detailed.size(), 3u);  // deduplicated
+}
+
+// ---- degenerate queries -------------------------------------------------------------
+
+TEST(Robustness, ProjectionToSingleRepeatedValue) {
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "a,b\n1,x\n2,x\n3,x\n").ok());
+  QueryTree tree = MustCompile("SELECT T.b FROM T WHERE T.a > 10", db);
+  CTuple tc;
+  tc.Add("T.b", Value::Str("x"));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  // All three compatible rows are blocked at the selection.
+  EXPECT_EQ(result.answer.detailed.size(), 3u);
+  EXPECT_EQ(result.answer.condensed.size(), 1u);
+}
+
+TEST(Robustness, CrossProductQuery) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile(
+      "SELECT R.id, S.id FROM R, S WHERE S.w = 'nothing'", db);
+  CTuple tc;
+  tc.Add("R.id", Value::Int(1));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  // R.id:1 is blocked at the cross-product join (the S side is empty after
+  // the selection), and the emptied S selection appears in the secondary
+  // answer for the indirect relation S.
+  ASSERT_EQ(result.answer.detailed.size(), 1u);
+  EXPECT_EQ(result.answer.detailed[0].subquery->kind, OpKind::kJoin);
+  ASSERT_FALSE(result.answer.secondary.empty());
+  EXPECT_EQ(result.answer.secondary[0]->kind, OpKind::kSelect);
+}
+
+TEST(Robustness, DeepSelectionStack) {
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "x\n5\n").ok());
+  std::string sql = "SELECT T.x FROM T WHERE T.x > 0";
+  for (int i = 1; i <= 20; ++i) {
+    sql += " AND T.x != " + std::to_string(100 + i);
+  }
+  sql += " AND T.x = 6";  // the one that blocks
+  QueryTree tree = MustCompile(sql, db);
+  CTuple tc;
+  tc.Add("T.x", Value::Int(5));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  ASSERT_EQ(result.answer.detailed.size(), 1u);
+  const OperatorNode* blamed = result.answer.detailed[0].subquery;
+  EXPECT_NE(blamed->predicate->ToString().find("= 6"), std::string::npos);
+}
+
+TEST(Robustness, SelfJoinOfThreeAliases) {
+  Database db;
+  NED_CHECK(db.LoadCsv("P", "id,boss\n1,2\n2,3\n3,3\n").ok());
+  QueryTree tree = MustCompile(
+      "SELECT A.id FROM P A, P B, P C "
+      "WHERE A.boss = B.id AND B.boss = C.id AND C.id = 99",
+      db);
+  CTuple tc;
+  tc.Add("A.id", Value::Int(1));
+  auto result = MustExplain(tree, db, WhyNotQuestion(tc));
+  ASSERT_FALSE(result.answer.detailed.empty());
+}
+
+// ---- engine misuse -------------------------------------------------------------------
+
+TEST(Robustness, NullTreeRejected) {
+  Database db = MakeTinyDb();
+  EXPECT_FALSE(NedExplainEngine::Create(nullptr, &db).ok());
+  EXPECT_FALSE(WhyNotBaseline::Create(nullptr, &db).ok());
+}
+
+TEST(Robustness, RepeatedExplainCallsAreIndependent) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R WHERE R.k = 999", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("R.v", Value::Str("a"));
+  for (int i = 0; i < 5; ++i) {
+    auto result = engine->Explain(WhyNotQuestion(tc));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->answer.detailed.size(), 1u);
+  }
+}
+
+TEST(Robustness, QueryAgainstMissingTableFailsAtCompile) {
+  Database db = MakeTinyDb();
+  EXPECT_FALSE(CompileSql("SELECT ghost.x FROM ghost", db).ok());
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,0 +1,240 @@
+/// \file sql_test.cpp
+/// \brief Unit tests for the SQL lexer, parser and binder.
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+
+// ---- lexer -----------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, 42 FROM t WHERE x >= 2.5 AND y != 'hi'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[2].IsSymbol("."));
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, NumberLiterals) {
+  auto tokens = Tokenize("42 -7 2.5 -0.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].literal.as_int(), 42);
+  EXPECT_EQ((*tokens)[1].literal.as_int(), -7);
+  EXPECT_DOUBLE_EQ((*tokens)[2].literal.as_double(), 2.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].literal.as_double(), -0.25);
+}
+
+TEST(Lexer, DottedAttributeIsNotADouble) {
+  auto tokens = Tokenize("t1.col");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // t1, ., col, END
+  EXPECT_EQ((*tokens)[0].text, "t1");
+  EXPECT_TRUE((*tokens)[1].IsSymbol("."));
+  EXPECT_EQ((*tokens)[2].text, "col");
+}
+
+TEST(Lexer, StringLiteralsWithEscapedQuote) {
+  auto tokens = Tokenize("'Senate Committee' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].literal.as_string(), "Senate Committee");
+  EXPECT_EQ((*tokens)[1].literal.as_string(), "it's");
+}
+
+TEST(Lexer, OperatorVariants) {
+  auto tokens = Tokenize("a <> b != c <= d >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "!=");  // <> normalised
+  EXPECT_EQ((*tokens)[3].text, "!=");
+  EXPECT_EQ((*tokens)[5].text, "<=");
+  EXPECT_EQ((*tokens)[7].text, ">=");
+}
+
+TEST(Lexer, RejectsJunkAndUnterminatedString) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("'open").ok());
+}
+
+// ---- parser -----------------------------------------------------------------------
+
+TEST(Parser, BasicSelect) {
+  auto q = ParseSql("SELECT a, t.b FROM t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->blocks.size(), 1u);
+  const auto& block = q->blocks[0];
+  ASSERT_EQ(block.select.size(), 2u);
+  EXPECT_EQ(block.select[0].column.FullName(), "a");
+  EXPECT_EQ(block.select[1].column.FullName(), "t.b");
+  ASSERT_EQ(block.from.size(), 1u);
+  EXPECT_EQ(block.from[0].first, "t");
+}
+
+TEST(Parser, FromAliases) {
+  auto q = ParseSql("SELECT C1.type FROM C C1, C C2");
+  ASSERT_TRUE(q.ok());
+  const auto& from = q->blocks[0].from;
+  ASSERT_EQ(from.size(), 2u);
+  EXPECT_EQ(from[0], (std::pair<std::string, std::string>{"C", "C1"}));
+  EXPECT_EQ(from[1], (std::pair<std::string, std::string>{"C", "C2"}));
+}
+
+TEST(Parser, WhereConjuncts) {
+  auto q = ParseSql("SELECT a FROM t WHERE t.x = s.y AND t.z > 5 AND 3 < t.w");
+  ASSERT_TRUE(q.ok());
+  const auto& where = q->blocks[0].where;
+  ASSERT_EQ(where.size(), 3u);
+  EXPECT_TRUE(where[0].left.is_column);
+  EXPECT_TRUE(where[0].right.is_column);
+  EXPECT_EQ(where[1].op, CompareOp::kGt);
+  EXPECT_FALSE(where[2].left.is_column);
+}
+
+TEST(Parser, AggregatesAndGroupBy) {
+  auto q = ParseSql(
+      "SELECT P.name, count(C.type) AS ct FROM P, C GROUP BY P.name");
+  ASSERT_TRUE(q.ok());
+  const auto& block = q->blocks[0];
+  EXPECT_FALSE(block.select[0].is_aggregate);
+  EXPECT_TRUE(block.select[1].is_aggregate);
+  EXPECT_EQ(block.select[1].function, "count");
+  EXPECT_EQ(block.select[1].alias, "ct");
+  ASSERT_EQ(block.group_by.size(), 1u);
+  EXPECT_EQ(block.group_by[0].FullName(), "P.name");
+}
+
+TEST(Parser, Union) {
+  auto q = ParseSql("SELECT a FROM t UNION SELECT b FROM s");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->blocks.size(), 2u);
+}
+
+TEST(Parser, SelectStar) {
+  auto q = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->blocks[0].select_star);
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseSql("select a from t where a = 1 group by a").ok());
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT a").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseSql("SELECT a FROM t extra junk").ok());
+  EXPECT_FALSE(ParseSql("SELECT count(a FROM t").ok());
+}
+
+// ---- binder -----------------------------------------------------------------------
+
+TEST(Binder, ClassifiesJoinsVsSelections) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql(
+      "SELECT R.v FROM R, S WHERE R.k = S.k AND R.id > 1 AND R.v != R.v");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const QueryBlock& block = spec->blocks[0];
+  ASSERT_EQ(block.joins.size(), 1u);
+  EXPECT_EQ(block.joins[0].left.FullName(), "R.k");
+  EXPECT_EQ(block.joins[0].out_name, "k");
+  EXPECT_EQ(block.selections.size(), 2u);  // R.id > 1 and the same-alias comp
+}
+
+TEST(Binder, ResolvesUnqualifiedColumns) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT v FROM R WHERE w = 'x' AND v = 'a'");
+  ASSERT_TRUE(ast.ok());
+  // w only exists in S, which is not in scope.
+  EXPECT_FALSE(BindSql(*ast, db).ok());
+  auto ast2 = ParseSql("SELECT v FROM R WHERE v = 'a'");
+  ASSERT_TRUE(ast2.ok());
+  auto spec = BindSql(*ast2, db);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->blocks[0].projection[0].FullName(), "R.v");
+}
+
+TEST(Binder, AmbiguousUnqualifiedColumnRejected) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT k FROM R, S");  // k in both R and S, no join
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(BindSql(*ast, db).ok());
+}
+
+TEST(Binder, RenamedOutputNameResolvableInSelect) {
+  // "SELECT k FROM R, S WHERE R.k = S.k": `k` is ambiguous among the base
+  // attributes but names the join renaming's output.
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT k FROM R, S WHERE R.k = S.k");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->blocks[0].projection[0].FullName(), "k");
+}
+
+TEST(Binder, JoinNameCollisionGetsSuffix) {
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "k\n1\n").ok());
+  NED_CHECK(db.LoadCsv("B", "k\n1\n").ok());
+  NED_CHECK(db.LoadCsv("C", "k\n1\n").ok());
+  auto ast = ParseSql("SELECT A.k FROM A, B, C WHERE A.k = B.k AND B.k = C.k");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->blocks[0].joins[0].out_name, "k");
+  EXPECT_EQ(spec->blocks[0].joins[1].out_name, "k_2");
+}
+
+TEST(Binder, NonGroupedSelectColumnRejected) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT R.v, count(R.id) AS c FROM R GROUP BY R.k");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(BindSql(*ast, db).ok());
+}
+
+TEST(Binder, DefaultAggregateOutputName) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT R.k, sum(R.id) FROM R GROUP BY R.k");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->blocks[0].agg->calls[0].out_name, "sum_id");
+}
+
+TEST(Binder, UnknownTableRejected) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT x FROM nosuch");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(BindSql(*ast, db).ok());
+}
+
+TEST(Binder, DuplicateAliasRejected) {
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT R.v FROM R, R");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(BindSql(*ast, db).ok());
+}
+
+TEST(CompileSql, EndToEnd) {
+  Database db = MakeTinyDb();
+  auto tree = CompileSql("SELECT R.v FROM R, S WHERE R.k = S.k AND S.w = 'x'",
+                         db);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->target_type().ToString(), "{R.v}");
+  auto out = testing::MustEvaluate(*tree, db);
+  EXPECT_EQ(out.size(), 2u);  // a and b (both join S row 1 with w=x)
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,0 +1,183 @@
+/// \file suggest_test.cpp
+/// \brief Tests for modification-based hints, including the paper's own
+/// introduction example: relaxing `A.dob > 800BC` to `>=` makes the missing
+/// answer appear.
+
+#include <gtest/gtest.h>
+
+#include "core/suggest.h"
+#include "datasets/running_example.h"
+#include "datasets/use_cases.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MustCompile;
+using testing::MustEvaluate;
+
+TEST(Suggest, RunningExampleRelaxesTheDobSelection) {
+  auto db = BuildRunningExampleDb();
+  ASSERT_TRUE(db.ok());
+  auto tree = BuildRunningExampleTree(*db);
+  ASSERT_TRUE(tree.ok());
+  auto engine = NedExplainEngine::Create(&*tree, &*db);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain(RunningExampleQuestionHomer());
+  ASSERT_TRUE(result.ok());
+
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints->size(), 1u);
+  const ModificationHint& hint = (*hints)[0];
+  EXPECT_EQ(hint.node->kind, OpKind::kSelect);
+  ASSERT_NE(hint.relaxed_predicate, nullptr);
+  // The paper's intro: A.dob > 800BC becomes A.dob >= 800BC.
+  EXPECT_EQ(hint.relaxed_predicate->ToString(), "A.dob >= -800");
+  EXPECT_EQ(hint.admits, (std::vector<std::string>{"A.aid:a1"}));
+  EXPECT_NE(hint.description.find("relax"), std::string::npos);
+}
+
+TEST(Suggest, AppliedRelaxationMakesTheAnswerAppear) {
+  // Re-run the query with the suggested predicate: Homer must now be in the
+  // result with average price 30 (> 25, satisfying the original question).
+  auto db = BuildRunningExampleDb();
+  ASSERT_TRUE(db.ok());
+  QueryTree relaxed = MustCompile(
+      "SELECT A.name, avg(B.price) AS ap FROM A, AB, B "
+      "WHERE A.aid = AB.aid AND B.bid = AB.bid AND A.dob >= -800 "
+      "GROUP BY A.name",
+      *db);
+  auto out = MustEvaluate(relaxed, *db);
+  bool homer_found = false;
+  for (const auto& t : out) {
+    if (t.values.at(0).as_string() == "Homer") {
+      homer_found = true;
+      EXPECT_DOUBLE_EQ(t.values.at(1).as_double(), 30.0);
+    }
+  }
+  EXPECT_TRUE(homer_found);
+
+  // And the engine now reports the question as answered (survivors).
+  auto engine = NedExplainEngine::Create(&relaxed, &*db);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain(RunningExampleQuestionHomer());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answer.detailed.empty());
+  EXPECT_GT(result->per_ctuple[0].survivors_at_root, 0u);
+}
+
+TEST(Suggest, LessThanRelaxationRaisesTheUpperBound) {
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "id,v\n1,5\n2,9\n3,2\n").ok());
+  QueryTree tree = MustCompile("SELECT T.id FROM T WHERE T.v < 4", db);
+  CTuple tc;
+  tc.Add("T.id", Value::Int(2));  // v=9 blocked
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain(WhyNotQuestion(tc));
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints->size(), 1u);
+  ASSERT_NE((*hints)[0].relaxed_predicate, nullptr);
+  EXPECT_EQ((*hints)[0].relaxed_predicate->ToString(), "T.v <= 9");
+}
+
+TEST(Suggest, EqualityWidensToDisjunction) {
+  Database db;
+  NED_CHECK(db.LoadCsv("T", "id,color\n1,red\n2,blue\n").ok());
+  QueryTree tree = MustCompile("SELECT T.id FROM T WHERE T.color = 'red'", db);
+  CTuple tc;
+  tc.Add("T.id", Value::Int(2));
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain(WhyNotQuestion(tc));
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints->size(), 1u);
+  ASSERT_NE((*hints)[0].relaxed_predicate, nullptr);
+  EXPECT_NE((*hints)[0].description.find("IN {red, blue}"), std::string::npos);
+}
+
+TEST(Suggest, JoinHintNamesTheMissingPartnerKeys) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  auto uc = registry->Find("Crime6");
+  ASSERT_TRUE(uc.ok());
+  auto tree = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree.ok());
+  auto engine =
+      NedExplainEngine::Create(&*tree, &registry->database("crime"));
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain((*uc)->question);
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints->size(), 1u);
+  EXPECT_EQ((*hints)[0].node->kind, OpKind::kJoin);
+  // The kidnappings' sectors (5 and 8) are named as the missing partners.
+  EXPECT_NE((*hints)[0].description.find("C2.sector=5"), std::string::npos);
+  EXPECT_NE((*hints)[0].description.find("C2.sector=8"), std::string::npos);
+}
+
+TEST(Suggest, SecondaryAnswersBecomeRootCauseHints) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  auto uc = registry->Find("Crime5");
+  ASSERT_TRUE(uc.ok());
+  auto tree = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree.ok());
+  auto engine =
+      NedExplainEngine::Create(&*tree, &registry->database("crime"));
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain((*uc)->question);
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  bool starvation_hint = false;
+  for (const auto& hint : *hints) {
+    if (hint.description.find("starves") != std::string::npos) {
+      starvation_hint = true;
+    }
+  }
+  EXPECT_TRUE(starvation_hint);
+}
+
+TEST(Suggest, CondAlphaFlipYieldsSelectionHintWithoutTuples) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  auto uc = registry->Find("Gov6");
+  ASSERT_TRUE(uc.ok());
+  auto tree = registry->BuildTree(**uc);
+  ASSERT_TRUE(tree.ok());
+  auto engine = NedExplainEngine::Create(&*tree, &registry->database("gov"));
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->Explain((*uc)->question);
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_FALSE(hints->empty());
+  EXPECT_EQ((*hints)[0].node->kind, OpKind::kSelect);
+  EXPECT_TRUE((*hints)[0].admits.empty());
+}
+
+TEST(Suggest, NoAnswerNoHints) {
+  auto db = BuildRunningExampleDb();
+  ASSERT_TRUE(db.ok());
+  auto tree = BuildRunningExampleTree(*db);
+  ASSERT_TRUE(tree.ok());
+  auto engine = NedExplainEngine::Create(&*tree, &*db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("A.name", Value::Str("Sophocles"));  // present in the result
+  auto result = engine->Explain(WhyNotQuestion(tc));
+  ASSERT_TRUE(result.ok());
+  auto hints = SuggestModifications(*engine, *result);
+  ASSERT_TRUE(hints.ok());
+  EXPECT_TRUE(hints->empty());
+}
+
+}  // namespace
+}  // namespace ned

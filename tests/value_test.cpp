@@ -1,0 +1,135 @@
+/// \file value_test.cpp
+/// \brief Unit + property tests for the typed value model.
+
+#include <gtest/gtest.h>
+
+#include "relational/value.h"
+
+namespace ned {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(Value, Constructors) {
+  EXPECT_EQ(Value::Int(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+  EXPECT_TRUE(Value::Int(0).is_numeric());
+  EXPECT_TRUE(Value::Real(0).is_numeric());
+  EXPECT_FALSE(Value::Str("0").is_numeric());
+}
+
+TEST(Value, NumericCoercionInComparison) {
+  auto c = Value::Compare(Value::Int(2), Value::Real(2.0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 0);
+  c = Value::Compare(Value::Real(1.5), Value::Int(2));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_LT(*c, 0);
+}
+
+TEST(Value, StringsCompareLexicographically) {
+  auto c = Value::Compare(Value::Str("Audrey"), Value::Str("B"));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_LT(*c, 0);  // 'A' < 'B' (use case Crime8's P1.name < 'B')
+}
+
+TEST(Value, NullAndMixedTypesIncomparable) {
+  EXPECT_FALSE(Value::Compare(Value::Null(), Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Compare(Value::Int(1), Value::Null()).has_value());
+  EXPECT_FALSE(Value::Compare(Value::Str("1"), Value::Int(1)).has_value());
+}
+
+TEST(Value, SatisfiesIsFalseOnNull) {
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(Value::Satisfies(Value::Null(), op, Value::Int(1)));
+    EXPECT_FALSE(Value::Satisfies(Value::Int(1), op, Value::Null()));
+  }
+}
+
+TEST(Value, ExactEqualityTreatsNullEqual) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));  // exact, no coercion
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+}
+
+TEST(Value, ParseLenient) {
+  EXPECT_EQ(Value::ParseLenient("42").type(), ValueType::kInt);
+  EXPECT_EQ(Value::ParseLenient("42").as_int(), 42);
+  EXPECT_EQ(Value::ParseLenient("-7").as_int(), -7);
+  EXPECT_EQ(Value::ParseLenient("2.5").type(), ValueType::kDouble);
+  EXPECT_EQ(Value::ParseLenient("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value::ParseLenient("12abc").type(), ValueType::kString);
+  EXPECT_TRUE(Value::ParseLenient("").is_null());
+}
+
+TEST(Value, HashConsistentWithNumericEquality) {
+  // int 5 and double 5.0 join under coercion, so they must hash identically.
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Real(5.0).Hash());
+  EXPECT_EQ(Value::Int(-3).Hash(), Value::Real(-3.0).Hash());
+}
+
+TEST(Value, HashDistinguishesTypicalValues) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Str("a").Hash(), Value::Str("b").Hash());
+}
+
+TEST(CompareOp, NegateAndMirror) {
+  EXPECT_EQ(NegateOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(NegateOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateOp(CompareOp::kLe), CompareOp::kGt);
+  EXPECT_EQ(MirrorOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(MirrorOp(CompareOp::kGe), CompareOp::kLe);
+  EXPECT_EQ(MirrorOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(std::string(CompareOpSymbol(CompareOp::kNe)), "!=");
+}
+
+// ---- parameterized property sweeps -------------------------------------------
+
+struct OpCase {
+  CompareOp op;
+};
+
+class CompareOpProperty : public ::testing::TestWithParam<CompareOp> {};
+
+/// Satisfies(a, op, b) XOR Satisfies(a, negate(op), b) whenever comparable.
+TEST_P(CompareOpProperty, NegationIsComplementOnComparables) {
+  CompareOp op = GetParam();
+  std::vector<Value> values = {Value::Int(1), Value::Int(2), Value::Real(1.5),
+                               Value::Real(2.0)};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      bool direct = Value::Satisfies(a, op, b);
+      bool negated = Value::Satisfies(a, NegateOp(op), b);
+      EXPECT_NE(direct, negated) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+/// Satisfies(a, op, b) == Satisfies(b, mirror(op), a).
+TEST_P(CompareOpProperty, MirrorSwapsOperands) {
+  CompareOp op = GetParam();
+  std::vector<Value> values = {Value::Int(1), Value::Int(2), Value::Str("x"),
+                               Value::Str("y"), Value::Real(1.5)};
+  for (const Value& a : values) {
+    for (const Value& b : values) {
+      EXPECT_EQ(Value::Satisfies(a, op, b),
+                Value::Satisfies(b, MirrorOp(op), a))
+          << a.ToString() << " " << CompareOpSymbol(op) << " " << b.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CompareOpProperty,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+}  // namespace
+}  // namespace ned
