@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_dbsize.dir/bench_scaling_dbsize.cpp.o"
+  "CMakeFiles/bench_scaling_dbsize.dir/bench_scaling_dbsize.cpp.o.d"
+  "bench_scaling_dbsize"
+  "bench_scaling_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

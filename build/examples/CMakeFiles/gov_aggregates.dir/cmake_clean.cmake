@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gov_aggregates.dir/gov_aggregates.cpp.o"
+  "CMakeFiles/gov_aggregates.dir/gov_aggregates.cpp.o.d"
+  "gov_aggregates"
+  "gov_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gov_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

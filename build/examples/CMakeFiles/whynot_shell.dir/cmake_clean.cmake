@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whynot_shell.dir/whynot_shell.cpp.o"
+  "CMakeFiles/whynot_shell.dir/whynot_shell.cpp.o.d"
+  "whynot_shell"
+  "whynot_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whynot_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/operator.cpp" "src/CMakeFiles/ned_algebra.dir/algebra/operator.cpp.o" "gcc" "src/CMakeFiles/ned_algebra.dir/algebra/operator.cpp.o.d"
+  "/root/repo/src/algebra/query_tree.cpp" "src/CMakeFiles/ned_algebra.dir/algebra/query_tree.cpp.o" "gcc" "src/CMakeFiles/ned_algebra.dir/algebra/query_tree.cpp.o.d"
+  "/root/repo/src/algebra/renaming.cpp" "src/CMakeFiles/ned_algebra.dir/algebra/renaming.cpp.o" "gcc" "src/CMakeFiles/ned_algebra.dir/algebra/renaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_algebra.dir/algebra/operator.cpp.o"
+  "CMakeFiles/ned_algebra.dir/algebra/operator.cpp.o.d"
+  "CMakeFiles/ned_algebra.dir/algebra/query_tree.cpp.o"
+  "CMakeFiles/ned_algebra.dir/algebra/query_tree.cpp.o.d"
+  "CMakeFiles/ned_algebra.dir/algebra/renaming.cpp.o"
+  "CMakeFiles/ned_algebra.dir/algebra/renaming.cpp.o.d"
+  "libned_algebra.a"
+  "libned_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

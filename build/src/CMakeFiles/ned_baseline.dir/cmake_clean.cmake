@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_baseline.dir/baseline/whynot_baseline.cpp.o"
+  "CMakeFiles/ned_baseline.dir/baseline/whynot_baseline.cpp.o.d"
+  "libned_baseline.a"
+  "libned_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

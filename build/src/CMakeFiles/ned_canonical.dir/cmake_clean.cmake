@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_canonical.dir/canonical/canonicalizer.cpp.o"
+  "CMakeFiles/ned_canonical.dir/canonical/canonicalizer.cpp.o.d"
+  "CMakeFiles/ned_canonical.dir/canonical/query_spec.cpp.o"
+  "CMakeFiles/ned_canonical.dir/canonical/query_spec.cpp.o.d"
+  "libned_canonical.a"
+  "libned_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

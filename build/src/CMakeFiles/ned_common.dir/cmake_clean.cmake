@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_common.dir/common/csv.cpp.o"
+  "CMakeFiles/ned_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/ned_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ned_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ned_common.dir/common/status.cpp.o"
+  "CMakeFiles/ned_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/ned_common.dir/common/strings.cpp.o"
+  "CMakeFiles/ned_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/ned_common.dir/common/timer.cpp.o"
+  "CMakeFiles/ned_common.dir/common/timer.cpp.o.d"
+  "libned_common.a"
+  "libned_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/answers.cpp" "src/CMakeFiles/ned_core.dir/core/answers.cpp.o" "gcc" "src/CMakeFiles/ned_core.dir/core/answers.cpp.o.d"
+  "/root/repo/src/core/nedexplain.cpp" "src/CMakeFiles/ned_core.dir/core/nedexplain.cpp.o" "gcc" "src/CMakeFiles/ned_core.dir/core/nedexplain.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/ned_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/ned_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/suggest.cpp" "src/CMakeFiles/ned_core.dir/core/suggest.cpp.o" "gcc" "src/CMakeFiles/ned_core.dir/core/suggest.cpp.o.d"
+  "/root/repo/src/core/tabq.cpp" "src/CMakeFiles/ned_core.dir/core/tabq.cpp.o" "gcc" "src/CMakeFiles/ned_core.dir/core/tabq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_whynot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

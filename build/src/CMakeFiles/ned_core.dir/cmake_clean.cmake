@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_core.dir/core/answers.cpp.o"
+  "CMakeFiles/ned_core.dir/core/answers.cpp.o.d"
+  "CMakeFiles/ned_core.dir/core/nedexplain.cpp.o"
+  "CMakeFiles/ned_core.dir/core/nedexplain.cpp.o.d"
+  "CMakeFiles/ned_core.dir/core/report.cpp.o"
+  "CMakeFiles/ned_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/ned_core.dir/core/suggest.cpp.o"
+  "CMakeFiles/ned_core.dir/core/suggest.cpp.o.d"
+  "CMakeFiles/ned_core.dir/core/tabq.cpp.o"
+  "CMakeFiles/ned_core.dir/core/tabq.cpp.o.d"
+  "libned_core.a"
+  "libned_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/crime.cpp" "src/CMakeFiles/ned_datasets.dir/datasets/crime.cpp.o" "gcc" "src/CMakeFiles/ned_datasets.dir/datasets/crime.cpp.o.d"
+  "/root/repo/src/datasets/gov.cpp" "src/CMakeFiles/ned_datasets.dir/datasets/gov.cpp.o" "gcc" "src/CMakeFiles/ned_datasets.dir/datasets/gov.cpp.o.d"
+  "/root/repo/src/datasets/imdb.cpp" "src/CMakeFiles/ned_datasets.dir/datasets/imdb.cpp.o" "gcc" "src/CMakeFiles/ned_datasets.dir/datasets/imdb.cpp.o.d"
+  "/root/repo/src/datasets/running_example.cpp" "src/CMakeFiles/ned_datasets.dir/datasets/running_example.cpp.o" "gcc" "src/CMakeFiles/ned_datasets.dir/datasets/running_example.cpp.o.d"
+  "/root/repo/src/datasets/use_cases.cpp" "src/CMakeFiles/ned_datasets.dir/datasets/use_cases.cpp.o" "gcc" "src/CMakeFiles/ned_datasets.dir/datasets/use_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_whynot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_canonical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

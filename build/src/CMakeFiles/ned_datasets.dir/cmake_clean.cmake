@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_datasets.dir/datasets/crime.cpp.o"
+  "CMakeFiles/ned_datasets.dir/datasets/crime.cpp.o.d"
+  "CMakeFiles/ned_datasets.dir/datasets/gov.cpp.o"
+  "CMakeFiles/ned_datasets.dir/datasets/gov.cpp.o.d"
+  "CMakeFiles/ned_datasets.dir/datasets/imdb.cpp.o"
+  "CMakeFiles/ned_datasets.dir/datasets/imdb.cpp.o.d"
+  "CMakeFiles/ned_datasets.dir/datasets/running_example.cpp.o"
+  "CMakeFiles/ned_datasets.dir/datasets/running_example.cpp.o.d"
+  "CMakeFiles/ned_datasets.dir/datasets/use_cases.cpp.o"
+  "CMakeFiles/ned_datasets.dir/datasets/use_cases.cpp.o.d"
+  "libned_datasets.a"
+  "libned_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

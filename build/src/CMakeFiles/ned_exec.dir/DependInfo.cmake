@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/evaluator.cpp" "src/CMakeFiles/ned_exec.dir/exec/evaluator.cpp.o" "gcc" "src/CMakeFiles/ned_exec.dir/exec/evaluator.cpp.o.d"
+  "/root/repo/src/exec/lineage.cpp" "src/CMakeFiles/ned_exec.dir/exec/lineage.cpp.o" "gcc" "src/CMakeFiles/ned_exec.dir/exec/lineage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

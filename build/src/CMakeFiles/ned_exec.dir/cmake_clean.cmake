@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_exec.dir/exec/evaluator.cpp.o"
+  "CMakeFiles/ned_exec.dir/exec/evaluator.cpp.o.d"
+  "CMakeFiles/ned_exec.dir/exec/lineage.cpp.o"
+  "CMakeFiles/ned_exec.dir/exec/lineage.cpp.o.d"
+  "libned_exec.a"
+  "libned_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

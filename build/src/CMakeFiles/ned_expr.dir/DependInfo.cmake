@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/condition.cpp" "src/CMakeFiles/ned_expr.dir/expr/condition.cpp.o" "gcc" "src/CMakeFiles/ned_expr.dir/expr/condition.cpp.o.d"
+  "/root/repo/src/expr/expression.cpp" "src/CMakeFiles/ned_expr.dir/expr/expression.cpp.o" "gcc" "src/CMakeFiles/ned_expr.dir/expr/expression.cpp.o.d"
+  "/root/repo/src/expr/satisfiability.cpp" "src/CMakeFiles/ned_expr.dir/expr/satisfiability.cpp.o" "gcc" "src/CMakeFiles/ned_expr.dir/expr/satisfiability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

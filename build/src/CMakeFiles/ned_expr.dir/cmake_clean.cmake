@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_expr.dir/expr/condition.cpp.o"
+  "CMakeFiles/ned_expr.dir/expr/condition.cpp.o.d"
+  "CMakeFiles/ned_expr.dir/expr/expression.cpp.o"
+  "CMakeFiles/ned_expr.dir/expr/expression.cpp.o.d"
+  "CMakeFiles/ned_expr.dir/expr/satisfiability.cpp.o"
+  "CMakeFiles/ned_expr.dir/expr/satisfiability.cpp.o.d"
+  "libned_expr.a"
+  "libned_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

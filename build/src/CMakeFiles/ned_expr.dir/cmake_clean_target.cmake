@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libned_expr.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/attribute.cpp" "src/CMakeFiles/ned_relational.dir/relational/attribute.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/attribute.cpp.o.d"
+  "/root/repo/src/relational/database.cpp" "src/CMakeFiles/ned_relational.dir/relational/database.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/database.cpp.o.d"
+  "/root/repo/src/relational/relation.cpp" "src/CMakeFiles/ned_relational.dir/relational/relation.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/relation.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/CMakeFiles/ned_relational.dir/relational/schema.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/schema.cpp.o.d"
+  "/root/repo/src/relational/tuple.cpp" "src/CMakeFiles/ned_relational.dir/relational/tuple.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/tuple.cpp.o.d"
+  "/root/repo/src/relational/value.cpp" "src/CMakeFiles/ned_relational.dir/relational/value.cpp.o" "gcc" "src/CMakeFiles/ned_relational.dir/relational/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

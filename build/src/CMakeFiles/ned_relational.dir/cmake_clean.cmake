@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_relational.dir/relational/attribute.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/attribute.cpp.o.d"
+  "CMakeFiles/ned_relational.dir/relational/database.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/database.cpp.o.d"
+  "CMakeFiles/ned_relational.dir/relational/relation.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/relation.cpp.o.d"
+  "CMakeFiles/ned_relational.dir/relational/schema.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/schema.cpp.o.d"
+  "CMakeFiles/ned_relational.dir/relational/tuple.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/tuple.cpp.o.d"
+  "CMakeFiles/ned_relational.dir/relational/value.cpp.o"
+  "CMakeFiles/ned_relational.dir/relational/value.cpp.o.d"
+  "libned_relational.a"
+  "libned_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

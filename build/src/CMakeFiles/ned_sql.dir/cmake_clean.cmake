@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_sql.dir/sql/ast.cpp.o"
+  "CMakeFiles/ned_sql.dir/sql/ast.cpp.o.d"
+  "CMakeFiles/ned_sql.dir/sql/binder.cpp.o"
+  "CMakeFiles/ned_sql.dir/sql/binder.cpp.o.d"
+  "CMakeFiles/ned_sql.dir/sql/lexer.cpp.o"
+  "CMakeFiles/ned_sql.dir/sql/lexer.cpp.o.d"
+  "CMakeFiles/ned_sql.dir/sql/parser.cpp.o"
+  "CMakeFiles/ned_sql.dir/sql/parser.cpp.o.d"
+  "libned_sql.a"
+  "libned_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whynot/compatible_finder.cpp" "src/CMakeFiles/ned_whynot.dir/whynot/compatible_finder.cpp.o" "gcc" "src/CMakeFiles/ned_whynot.dir/whynot/compatible_finder.cpp.o.d"
+  "/root/repo/src/whynot/ctuple.cpp" "src/CMakeFiles/ned_whynot.dir/whynot/ctuple.cpp.o" "gcc" "src/CMakeFiles/ned_whynot.dir/whynot/ctuple.cpp.o.d"
+  "/root/repo/src/whynot/unrenaming.cpp" "src/CMakeFiles/ned_whynot.dir/whynot/unrenaming.cpp.o" "gcc" "src/CMakeFiles/ned_whynot.dir/whynot/unrenaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

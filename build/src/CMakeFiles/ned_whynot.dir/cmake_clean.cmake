@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_whynot.dir/whynot/compatible_finder.cpp.o"
+  "CMakeFiles/ned_whynot.dir/whynot/compatible_finder.cpp.o.d"
+  "CMakeFiles/ned_whynot.dir/whynot/ctuple.cpp.o"
+  "CMakeFiles/ned_whynot.dir/whynot/ctuple.cpp.o.d"
+  "CMakeFiles/ned_whynot.dir/whynot/unrenaming.cpp.o"
+  "CMakeFiles/ned_whynot.dir/whynot/unrenaming.cpp.o.d"
+  "libned_whynot.a"
+  "libned_whynot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_whynot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

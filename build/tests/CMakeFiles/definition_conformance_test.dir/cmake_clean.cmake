@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/definition_conformance_test.dir/definition_conformance_test.cpp.o"
+  "CMakeFiles/definition_conformance_test.dir/definition_conformance_test.cpp.o.d"
+  "definition_conformance_test"
+  "definition_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/definition_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nedexplain_test.dir/nedexplain_test.cpp.o"
+  "CMakeFiles/nedexplain_test.dir/nedexplain_test.cpp.o.d"
+  "nedexplain_test"
+  "nedexplain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nedexplain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

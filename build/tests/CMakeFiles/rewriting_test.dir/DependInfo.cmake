@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rewriting_test.cpp" "tests/CMakeFiles/rewriting_test.dir/rewriting_test.cpp.o" "gcc" "tests/CMakeFiles/rewriting_test.dir/rewriting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ned_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_canonical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_whynot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ned_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/use_cases_test.dir/use_cases_test.cpp.o"
+  "CMakeFiles/use_cases_test.dir/use_cases_test.cpp.o.d"
+  "use_cases_test"
+  "use_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/use_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whynot_test.dir/whynot_test.cpp.o"
+  "CMakeFiles/whynot_test.dir/whynot_test.cpp.o.d"
+  "whynot_test"
+  "whynot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whynot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
