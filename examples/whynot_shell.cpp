@@ -14,9 +14,15 @@
 ///       variables: <attr>:?x plus conditions via `where x > 25`
 ///   where <var> <op> <value>        -- add a condition to the next whynot
 ///   baseline on|off                 -- also run the Why-Not baseline
+///   \timeout <ms>                   -- bound sql/whynot wall time (0 = off);
+///       a tripped deadline yields a flagged partial answer
 ///   help / quit
+///
+/// The shell never dies on a bad command: errors print as a Status plus a
+/// usage hint and the prompt returns.
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "baseline/whynot_baseline.h"
@@ -38,7 +44,32 @@ struct ShellState {
   std::shared_ptr<QueryTree> tree;
   std::vector<CPred> pending_conds;
   bool run_baseline = true;
+  /// Wall-clock budget applied to `sql` and `whynot`; 0 = unlimited.
+  int64_t timeout_ms = 0;
 };
+
+/// Fresh deadline-armed context for one command; nullptr when unlimited.
+std::unique_ptr<ExecContext> MakeContext(const ShellState& state) {
+  if (state.timeout_ms <= 0) return nullptr;
+  auto ctx = std::make_unique<ExecContext>();
+  ctx->set_deadline_after_ms(state.timeout_ms);
+  return ctx;
+}
+
+/// Usage hint appended to a command's error so a typo never strands the user.
+const char* UsageFor(const std::string& cmd) {
+  if (cmd == "use") return "use crime|imdb|gov|example";
+  if (cmd == "load") return "load <relation> <file.csv>";
+  if (cmd == "show") return "show <relation>";
+  if (cmd == "sql") return "sql select ... from ... [where ...]";
+  if (cmd == "where") return "where <var> <op> <value>   e.g. where x > 25";
+  if (cmd == "whynot")
+    return "whynot <attr>:<value>[, ...]   e.g. whynot P.name:Hank";
+  if (cmd == "baseline") return "baseline on|off";
+  if (cmd == "timeout" || cmd == "\\timeout")
+    return "\\timeout <ms>   (0 disables)";
+  return nullptr;
+}
 
 Result<Value> ParseShellValue(const std::string& text) {
   return Value::ParseLenient(Trim(text));
@@ -57,6 +88,9 @@ Result<CompareOp> ParseShellOp(const std::string& op) {
 Status HandleWhynot(ShellState* state, const std::string& args) {
   if (state->tree == nullptr) {
     return Status::InvalidArgument("run `sql <query>` first");
+  }
+  if (Trim(args).empty()) {
+    return Status::InvalidArgument("whynot needs at least one <attr>:<value>");
   }
   CTuple tc;
   for (const std::string& field : Split(args, ',')) {
@@ -82,7 +116,9 @@ Status HandleWhynot(ShellState* state, const std::string& args) {
   NED_ASSIGN_OR_RETURN(NedExplainEngine engine,
                        NedExplainEngine::Create(state->tree.get(),
                                                 state->db.get(), options));
-  NED_ASSIGN_OR_RETURN(NedExplainResult result, engine.Explain(question));
+  std::unique_ptr<ExecContext> ctx = MakeContext(*state);
+  NED_ASSIGN_OR_RETURN(NedExplainResult result,
+                       engine.Explain(question, ctx.get()));
   std::cout << RenderExplainReport(engine, question, result);
 
   NED_ASSIGN_OR_RETURN(std::vector<ModificationHint> hints,
@@ -98,8 +134,14 @@ Status HandleWhynot(ShellState* state, const std::string& args) {
     NED_ASSIGN_OR_RETURN(
         WhyNotBaseline baseline,
         WhyNotBaseline::Create(state->tree.get(), state->db.get()));
-    NED_ASSIGN_OR_RETURN(WhyNotBaselineResult base, baseline.Explain(question));
-    std::cout << "Why-Not baseline: " << base.AnswerToString() << "\n";
+    std::unique_ptr<ExecContext> base_ctx = MakeContext(*state);
+    NED_ASSIGN_OR_RETURN(WhyNotBaselineResult base,
+                         baseline.Explain(question, base_ctx.get()));
+    std::cout << "Why-Not baseline: " << base.AnswerToString();
+    if (!base.complete) {
+      std::cout << "  (partial: " << base.limit_status.ToString() << ")";
+    }
+    std::cout << "\n";
   }
   return Status::OK();
 }
@@ -155,12 +197,21 @@ Status HandleLine(ShellState* state, const std::string& line) {
     NED_ASSIGN_OR_RETURN(QueryTree tree, CompileSql(args, *state->db));
     state->tree = std::make_shared<QueryTree>(std::move(tree));
     std::cout << "canonical tree:\n" << state->tree->ToString();
-    // Evaluate and show the result.
+    // Evaluate and show the result, under the session timeout if one is set.
+    std::unique_ptr<ExecContext> ctx = MakeContext(*state);
     NED_ASSIGN_OR_RETURN(QueryInput input,
-                         QueryInput::Build(*state->tree, *state->db));
-    Evaluator evaluator(state->tree.get(), &input);
-    NED_ASSIGN_OR_RETURN(const std::vector<TraceTuple>* out,
-                         evaluator.EvalAll());
+                         QueryInput::Build(*state->tree, *state->db, ctx.get()));
+    Evaluator evaluator(state->tree.get(), &input, ctx.get());
+    Result<const std::vector<TraceTuple>*> eval = evaluator.EvalAll();
+    if (!eval.ok()) {
+      if (IsResourceLimit(eval.status())) {
+        std::cout << "evaluation stopped: " << eval.status().ToString()
+                  << " (raise or disable with \\timeout)\n";
+        return Status::OK();
+      }
+      return eval.status();
+    }
+    const std::vector<TraceTuple>* out = *eval;
     std::cout << "result (" << out->size() << " tuples):\n";
     size_t shown = 0;
     for (const TraceTuple& t : *out) {
@@ -190,6 +241,22 @@ Status HandleLine(ShellState* state, const std::string& line) {
     return Status::OK();
   }
   if (cmd == "whynot") return HandleWhynot(state, args);
+  if (cmd == "timeout" || cmd == "\\timeout") {
+    int64_t ms = 0;
+    std::istringstream in(args);
+    if (!(in >> ms) || ms < 0) {
+      return Status::InvalidArgument("timeout needs a non-negative millisecond "
+                                     "count");
+    }
+    state->timeout_ms = ms;
+    if (ms == 0) {
+      std::cout << "timeout disabled\n";
+    } else {
+      std::cout << "timeout set to " << ms << " ms; long runs now return "
+                << "flagged partial answers\n";
+    }
+    return Status::OK();
+  }
   if (cmd == "baseline") {
     state->run_baseline = args != "off";
     std::cout << "baseline " << (state->run_baseline ? "on" : "off") << "\n";
@@ -199,7 +266,9 @@ Status HandleLine(ShellState* state, const std::string& line) {
     std::cout
         << "commands: use <db> | load <rel> <csv> | tables | show <rel> | "
            "sql <query> | tree | where <var> <op> <val> | whynot <a>:<v>,... "
-           "| baseline on/off | quit\n";
+           "| baseline on/off | \\timeout <ms> | quit\n"
+           "  \\timeout bounds sql/whynot wall time; a tripped deadline "
+           "yields a flagged partial answer instead of an error\n";
     return Status::OK();
   }
   if (cmd == "quit" || cmd == "exit") {
@@ -221,7 +290,12 @@ int main() {
     ned::Status status = HandleLine(&state, line);
     if (!status.ok()) {
       if (status.message() == "__quit__") break;
+      // Errors never kill the shell: print the status and, when the command
+      // is known, how to invoke it correctly.
       std::cout << status.ToString() << "\n";
+      std::string t = ned::Trim(line);
+      const char* usage = UsageFor(ned::ToLower(t.substr(0, t.find(' '))));
+      if (usage != nullptr) std::cout << "  usage: " << usage << "\n";
     }
   }
   std::cout << "bye\n";

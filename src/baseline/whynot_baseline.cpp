@@ -54,7 +54,7 @@ namespace {
 /// Crime6/7): a self-joined relation contributes items through every alias.
 Result<std::unordered_set<TupleId>> FindPieceItems(
     const CTuple& tc, const std::pair<Attribute, CValue>& field,
-    const QueryInput& input) {
+    const QueryInput& input, ExecContext* ctx) {
   const auto& [attr, cval] = field;
   std::unordered_set<TupleId> items;
   for (const std::string& alias : input.aliases()) {
@@ -64,6 +64,7 @@ Result<std::unordered_set<TupleId>> FindPieceItems(
     std::vector<size_t> indices = schema->IndicesWithName(attr.name);
     if (indices.empty()) continue;
     for (const TraceTuple& t : *tuples) {
+      NED_EXEC_TICK(ctx);
       bool matches = false;
       for (size_t idx : indices) {
         const Value& v = t.values.at(idx);
@@ -86,13 +87,19 @@ Result<std::unordered_set<TupleId>> FindPieceItems(
 }  // namespace
 
 Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
-    const WhyNotQuestion& question) {
+    const WhyNotQuestion& question, ExecContext* ctx) {
   WhyNotBaselineResult result;
   if (!supported_) {
     result.supported = false;
     result.unsupported_reason = unsupported_reason_;
     return result;
   }
+  // Converts a tripped resource limit into a flagged partial result; the
+  // answer keeps whatever frontier manipulations were established so far.
+  auto mark_partial = [&result](const Status& limit) {
+    result.complete = false;
+    result.limit_status = limit;
+  };
 
   // The baseline always evaluates the full workflow first (it needs the
   // result both for the "not missing" conclusion and for lineage tracing;
@@ -102,17 +109,31 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
   std::unique_ptr<Evaluator> evaluator;
   {
     PhaseTimer::Scope scope(&result.phases, phase::kInitialization);
-    NED_ASSIGN_OR_RETURN(QueryInput built, QueryInput::Build(*tree_, *db_));
-    input = std::make_unique<QueryInput>(std::move(built));
-    evaluator = std::make_unique<Evaluator>(tree_, input.get());
+    Result<QueryInput> built = QueryInput::Build(*tree_, *db_, ctx);
+    if (!built.ok()) {
+      if (IsResourceLimit(built.status())) {
+        mark_partial(built.status());
+        return result;
+      }
+      return built.status();
+    }
+    input = std::make_unique<QueryInput>(std::move(built).value());
+    evaluator = std::make_unique<Evaluator>(tree_, input.get(), ctx);
   }
   {
     PhaseTimer::Scope scope(&result.phases, phase::kBottomUp);
     auto root = evaluator->EvalAll();
-    if (!root.ok()) return root.status();
+    if (!root.ok()) {
+      if (IsResourceLimit(root.status())) {
+        mark_partial(root.status());
+        return result;
+      }
+      return root.status();
+    }
   }
 
   for (const CTuple& tc : question.ctuples()) {
+    if (!result.complete) break;
     BaselineCTupleResult part;
     part.ctuple = tc;
 
@@ -122,11 +143,22 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
     {
       PhaseTimer::Scope scope(&result.phases, phase::kCompatibleFinder);
       for (const auto& field : tc.fields()) {
-        NED_ASSIGN_OR_RETURN(std::unordered_set<TupleId> items,
-                             FindPieceItems(tc, field, *input));
-        part.unpicked_items += items.size();
-        piece_items.push_back(std::move(items));
+        Result<std::unordered_set<TupleId>> items =
+            FindPieceItems(tc, field, *input, ctx);
+        if (!items.ok()) {
+          if (IsResourceLimit(items.status())) {
+            mark_partial(items.status());
+            break;
+          }
+          return items.status();
+        }
+        part.unpicked_items += items->size();
+        piece_items.push_back(std::move(items).value());
       }
+    }
+    if (!result.complete) {
+      result.per_ctuple.push_back(std::move(part));
+      break;
     }
 
     // Bottom-up successor tracing. traced[node][p] holds the rids of the
@@ -174,6 +206,16 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
     const OperatorNode* frontier = nullptr;
     for (const OperatorNode* m : tree_->bottom_up()) {
       if (traversal_ != BaselineTraversal::kBottomUp) break;
+      // Manipulation boundary: a tripped limit stops the tracing but keeps
+      // any frontier already found sound.
+      {
+        Status st = CheckExec(ctx);
+        if (!st.ok()) {
+          if (!IsResourceLimit(st)) return st;
+          mark_partial(st);
+          break;
+        }
+      }
       const std::vector<TraceTuple>* output = evaluator->TryGetOutput(m);
       NED_CHECK(output != nullptr);
       std::vector<std::unordered_set<Rid>>& out_sets = traced[m];
@@ -199,6 +241,14 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
       }
       // One lineage query per output tuple of this manipulation.
       for (const TraceTuple& o : *output) {
+        if (ctx != nullptr) {
+          Status st = ctx->CheckEvery();
+          if (!st.ok()) {
+            if (!IsResourceLimit(st)) return st;
+            mark_partial(st);
+            break;
+          }
+        }
         std::unordered_set<TupleId> lineage;
         derive_lineage(o, &lineage);
         for (size_t p = 0; p < n_pieces; ++p) {
@@ -210,6 +260,7 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
           }
         }
       }
+      if (!result.complete) break;
       for (size_t p = 0; p < n_pieces && frontier == nullptr; ++p) {
         bool in_nonempty = false;
         for (const auto& child : m->children) {
@@ -220,7 +271,8 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
       if (frontier != nullptr) break;
     }
 
-    if (frontier == nullptr && traversal_ == BaselineTraversal::kBottomUp) {
+    if (frontier == nullptr && result.complete &&
+        traversal_ == BaselineTraversal::kBottomUp) {
       // Some piece's successors reached the result: the algorithm concludes
       // the answer is not missing, even when the survivors carry only some
       // pieces of the missing tuple (the Sec. 1 Q2 example; Crime8).
@@ -239,16 +291,27 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
     // answer -- the earliest boundary in TabQ order -- matches the
     // bottom-up variant ([2]'s equivalence claim; verified by tests).
     if (traversal_ == BaselineTraversal::kTopDown) {
+      // A tripped limit inside the recursive checks is latched here (the
+      // lambdas return bool, not Status) and handled after the descent.
+      Status td_limit = Status::OK();
       // Memoized "does m's output carry successors of piece p" checks; each
       // miss pays one simulated lineage query per inspected output tuple.
       std::map<std::pair<const OperatorNode*, size_t>, bool> traced_memo;
       std::function<bool(const OperatorNode*, size_t)> has_traced =
           [&](const OperatorNode* m, size_t p) -> bool {
+        if (!td_limit.ok()) return false;
         auto key = std::make_pair(m, p);
         auto it = traced_memo.find(key);
         if (it != traced_memo.end()) return it->second;
         bool found = false;
         for (const TraceTuple& o : *evaluator->TryGetOutput(m)) {
+          if (ctx != nullptr) {
+            Status st = ctx->CheckEvery();
+            if (!st.ok()) {
+              td_limit = st;
+              break;
+            }
+          }
           if (m->is_leaf()) {
             if (piece_items[p].count(o.rid) > 0) found = true;
           } else {
@@ -263,6 +326,8 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
           }
           if (found) break;
         }
+        // Never memoize a verdict cut short by a limit.
+        if (!td_limit.ok()) return false;
         traced_memo[key] = found;
         return found;
       };
@@ -297,12 +362,16 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
         if (fed) candidates.push_back(m);
       };
       bool any_survives_root = false;
-      for (size_t p = 0; p < n_pieces; ++p) {
+      for (size_t p = 0; p < n_pieces && td_limit.ok(); ++p) {
         if (has_traced(tree_->root(), p)) {
           any_survives_root = true;
           continue;
         }
         descend(tree_->root(), p);
+      }
+      if (!td_limit.ok()) {
+        if (!IsResourceLimit(td_limit)) return td_limit;
+        mark_partial(td_limit);
       }
       // The piece-independent empty-output rule (no lineage cost).
       for (const OperatorNode* m : tree_->bottom_up()) {

@@ -62,6 +62,11 @@ struct WhyNotBaselineResult {
   std::vector<const OperatorNode*> answer;  ///< frontier picky manipulations
   std::vector<BaselineCTupleResult> per_ctuple;
   PhaseTimer phases;
+  /// False when a resource limit (deadline/budget/cancellation) stopped the
+  /// run; `answer` then holds only the manipulations found so far and
+  /// `limit_status` names the tripped limit.
+  bool complete = true;
+  Status limit_status;
 
   /// "n.a.", "-" (no answer) or "m3, m7".
   std::string AnswerToString() const;
@@ -76,8 +81,11 @@ class WhyNotBaseline {
 
   /// Runs the bottom-up Why-Not algorithm for `question`. The question is
   /// used as given (the baseline has no unrenaming; fields are matched on
-  /// unqualified names, as in [2]).
-  Result<WhyNotBaselineResult> Explain(const WhyNotQuestion& question);
+  /// unqualified names, as in [2]). With an ExecContext the run is governed:
+  /// a tripped limit yields an OK result flagged `complete = false` holding
+  /// the partial answer, mirroring NedExplainEngine's graceful degradation.
+  Result<WhyNotBaselineResult> Explain(const WhyNotQuestion& question,
+                                       ExecContext* ctx = nullptr);
 
   const QueryTree& tree() const { return *tree_; }
 

@@ -11,6 +11,9 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  size_t line = 1;        // current physical line (1-based)
+  size_t row_line = 1;    // physical line the current row started on
+  size_t quote_line = 1;  // physical line the open quote started on
 
   auto end_field = [&]() {
     row.push_back(std::move(field));
@@ -20,6 +23,7 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
   auto end_row = [&]() {
     end_field();
     doc.rows.push_back(std::move(row));
+    doc.line_of.push_back(row_line);
     row.clear();
   };
 
@@ -34,15 +38,19 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;  // quoted fields may span physical lines
         field += c;
       }
     } else {
       switch (c) {
         case '"':
           if (!field.empty()) {
-            return Status::ParseError("quote inside unquoted CSV field");
+            return Status::ParseError(
+                "quote inside unquoted CSV field at line " +
+                std::to_string(line));
           }
           in_quotes = true;
+          quote_line = line;
           field_started = true;
           break;
         case ',':
@@ -53,6 +61,8 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
           break;  // tolerate \r\n
         case '\n':
           end_row();
+          ++line;
+          row_line = line;
           break;
         default:
           field += c;
@@ -60,7 +70,10 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
       }
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field opened at line " +
+                              std::to_string(quote_line));
+  }
   if (field_started || !field.empty() || !row.empty()) end_row();
   return doc;
 }

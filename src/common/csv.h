@@ -18,10 +18,14 @@ namespace ned {
 /// A parsed CSV document: first row is typically a header.
 struct CsvDocument {
   std::vector<std::vector<std::string>> rows;
+  /// 1-based physical line on which rows[i] starts (a quoted field may span
+  /// several physical lines). Parallel to `rows`; used for error messages.
+  std::vector<size_t> line_of;
 };
 
 /// Parses CSV text. Supports double-quoted fields with "" escapes and both
-/// \n and \r\n line endings. Empty trailing line is ignored.
+/// \n and \r\n line endings. Empty trailing line is ignored. Parse errors
+/// carry the offending 1-based line number.
 Result<CsvDocument> ParseCsv(const std::string& text);
 
 /// Serialises rows to CSV text, quoting fields that need it.

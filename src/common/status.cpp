@@ -12,6 +12,9 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kTypeError: return "TypeError";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

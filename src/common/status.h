@@ -27,6 +27,9 @@ enum class StatusCode {
   kTypeError,
   kUnsupported,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -61,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -105,9 +117,14 @@ class Result {
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
 
-  /// Returns the contained value or `fallback` on error.
-  T value_or(T fallback) const {
+  /// Returns the contained value or `fallback` on error. Ref-qualified so
+  /// hot paths don't pay silent copies: on an lvalue Result the value is
+  /// copied out, on an rvalue Result it is moved out.
+  T value_or(T fallback) const& {
     return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
   }
 
  private:

@@ -8,6 +8,16 @@
 
 namespace ned {
 
+std::string ResultCompleteness::ToString() const {
+  if (complete) return "complete";
+  std::string out = StrCat("partial: ", StatusCodeName(tripped));
+  if (!detail.empty()) out += " (" + detail + ")";
+  out += StrCat("; ", ctuples_finished, "/", ctuples_total,
+                " c-tuple(s) finished");
+  if (!stopped_at.empty()) out += "; traversal stopped at " + stopped_at;
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Breakpoint view V (Sec. 3.1, 2b)
 // ---------------------------------------------------------------------------
@@ -64,7 +74,8 @@ struct PickyRecord {
 Result<bool> SatisfiesCondAlpha(const CondAlpha& ca,
                                 const std::vector<const TraceTuple*>& tuples,
                                 const Schema& schema,
-                                const OperatorNode* aggregate) {
+                                const OperatorNode* aggregate,
+                                ExecContext* ctx) {
   if (ca.empty()) return false;
 
   // Does `schema` already expose the aggregate outputs (we are above alpha)?
@@ -103,6 +114,7 @@ Result<bool> SatisfiesCondAlpha(const CondAlpha& ca,
 
   if (has_agg_outputs) {
     for (const TraceTuple* t : tuples) {
+      NED_EXEC_TICK(ctx);
       if (row_matches(t->values, schema)) return true;
     }
     return false;
@@ -129,7 +141,7 @@ Result<bool> SatisfiesCondAlpha(const CondAlpha& ca,
   NED_ASSIGN_OR_RETURN(
       std::vector<Tuple> rows,
       ComputeAggregateTuples(aggregate->group_by, aggregate->aggregates,
-                             tuples, schema, row_schema));
+                             tuples, schema, row_schema, ctx));
   for (const Tuple& row : rows) {
     if (row_matches(row, row_schema)) return true;
   }
@@ -165,29 +177,61 @@ Result<NedExplainEngine> NedExplainEngine::Create(const QueryTree* tree,
 }
 
 Result<NedExplainResult> NedExplainEngine::Explain(
-    const WhyNotQuestion& question) {
+    const WhyNotQuestion& question, ExecContext* ctx) {
   NedExplainResult result;
+
+  // Marks the run partial because `limit` tripped. Used wherever a governed
+  // limit surfaces so the caller still receives the answers computed so far.
+  auto mark_partial = [&result](const Status& limit) {
+    result.completeness.complete = false;
+    result.completeness.tripped = limit.code();
+    result.completeness.detail = limit.message();
+  };
 
   // -- Initialization: materialise I_Q and unrename the predicate (step 1).
   std::shared_ptr<QueryInput> input;
   std::unique_ptr<Evaluator> evaluator;
   {
     PhaseTimer::Scope scope(&result.phases, phase::kInitialization);
-    NED_ASSIGN_OR_RETURN(QueryInput built, QueryInput::Build(*tree_, *db_));
-    input = std::make_shared<QueryInput>(std::move(built));
-    evaluator = std::make_unique<Evaluator>(tree_, input.get());
+    auto built = QueryInput::Build(*tree_, *db_, ctx);
+    if (!built.ok()) {
+      if (!IsResourceLimit(built.status())) return built.status();
+      // The budget tripped while materialising the input instance: nothing
+      // was computed, but the degradation is reported, not thrown.
+      result.completeness.ctuples_total = question.ctuples().size();
+      mark_partial(built.status());
+      return result;
+    }
+    input = std::make_shared<QueryInput>(std::move(built).value());
+    evaluator = std::make_unique<Evaluator>(tree_, input.get(), ctx);
     NED_ASSIGN_OR_RETURN(result.unrenamed, UnrenameQuestion(*tree_, question));
   }
   last_input_ = input;
+  result.completeness.ctuples_total = result.unrenamed.ctuples().size();
 
   // -- One Alg. 1 run per unrenamed c-tuple; the final answer is the union.
   for (const CTuple& tc : result.unrenamed.ctuples()) {
-    NED_ASSIGN_OR_RETURN(
-        CTupleExplainResult part,
-        ExplainCTuple(tc, input.get(), evaluator.get(), &result.phases));
+    auto part_result =
+        ExplainCTuple(tc, input.get(), evaluator.get(), &result.phases, ctx);
+    if (!part_result.ok()) {
+      // A limit that escaped mid-phase: keep the finished c-tuples' answers.
+      if (!IsResourceLimit(part_result.status())) return part_result.status();
+      mark_partial(part_result.status());
+      break;
+    }
+    CTupleExplainResult part = std::move(part_result).value();
     result.dir_total += part.compat.dir.size();
     result.indir_total += part.compat.indir.size();
     result.answer.MergeFrom(part.answer);
+    if (!part.complete) {
+      mark_partial(part.limit_status);
+      if (part.stopped_at != nullptr) {
+        result.completeness.stopped_at = part.stopped_at->name;
+      }
+      result.per_ctuple.push_back(std::move(part));
+      break;
+    }
+    ++result.completeness.ctuples_finished;
     result.per_ctuple.push_back(std::move(part));
   }
   return result;
@@ -195,15 +239,31 @@ Result<NedExplainResult> NedExplainEngine::Explain(
 
 Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     const CTuple& tc, QueryInput* input, Evaluator* evaluator,
-    PhaseTimer* phases) {
+    PhaseTimer* phases, ExecContext* ctx) {
   CTupleExplainResult result;
   result.ctuple = tc;
+
+  // Marks this c-tuple's run partial: the traversal stopped at `node` (may
+  // be null) because `limit` tripped. The answer derivation below still runs
+  // on the picky records established so far.
+  auto mark_partial = [&result](const Status& limit, const OperatorNode* node) {
+    result.complete = false;
+    result.limit_status = limit;
+    result.stopped_at = node;
+  };
 
   // -- CompatibleFinder (step 2a): Dir_tc and InDir_tc.
   {
     PhaseTimer::Scope scope(phases, phase::kCompatibleFinder);
-    NED_ASSIGN_OR_RETURN(result.compat,
-                         FindCompatibles(tc, *input, agg_output_names_));
+    auto compat_result = FindCompatibles(tc, *input, agg_output_names_, ctx);
+    if (!compat_result.ok()) {
+      if (!IsResourceLimit(compat_result.status())) {
+        return compat_result.status();
+      }
+      mark_partial(compat_result.status(), nullptr);
+      return result;  // nothing established yet: empty partial answer
+    }
+    result.compat = std::move(compat_result).value();
   }
   const CompatibleSets& compat = result.compat;
 
@@ -252,6 +312,14 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     TabQEntry& entry = tabq.at(i);
     const OperatorNode* m = entry.node;
 
+    // Subquery boundary: honour deadline/budget/cancellation between
+    // subqueries; on a trip, degrade to the answer established so far.
+    if (Status limit = CheckExec(ctx); !limit.ok()) {
+      if (!IsResourceLimit(limit)) return limit;
+      mark_partial(limit, m);
+      break;
+    }
+
     // -- Alg. 2: checkEarlyTermination(m).
     if (options_.enable_early_termination && i != 0 &&
         entry.level() != tabq.at(i - 1).level()) {
@@ -284,7 +352,17 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     //    entries and the EmptyOutput/Picky managers (lines 9-14).
     {
       PhaseTimer::Scope scope(phases, phase::kBottomUp);
-      NED_ASSIGN_OR_RETURN(entry.output, evaluator->EvalNode(m));
+      auto output_result = evaluator->EvalNode(m);
+      if (!output_result.ok()) {
+        // A limit tripping inside the operator leaves no output for m; the
+        // traversal cannot continue, but everything recorded below m stands.
+        if (!IsResourceLimit(output_result.status())) {
+          return output_result.status();
+        }
+        mark_partial(output_result.status(), m);
+        break;
+      }
+      entry.output = std::move(output_result).value();
       if (m->parent != nullptr) {
         TabQEntry& parent = tabq.entry_for(m->parent);
         for (const TraceTuple& t : *entry.output) {
@@ -319,6 +397,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
       std::unordered_set<Rid> covered;     // compatibles with a successor
       std::unordered_set<TupleId> surviving_dirs;
       for (const TraceTuple& o : *entry.output) {
+        NED_EXEC_TICK(ctx);
         // Valid successor of a compatible tuple (Notation 2.1): lineage
         // within D, touching Dir, derived from a compatible input tuple.
         if (!BaseSetSubsetOf(o.lineage, compat.all)) continue;
@@ -376,7 +455,8 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
                 NED_ASSIGN_OR_RETURN(
                     bool ok,
                     SatisfiesCondAlpha(compat.cond_alpha, side,
-                                       child->output_schema, aggregate_node_));
+                                       child->output_schema, aggregate_node_,
+                                       ctx));
                 if (ok) return true;
               }
               return false;
@@ -386,7 +466,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
         NED_ASSIGN_OR_RETURN(
             bool out_ok,
             SatisfiesCondAlpha(compat.cond_alpha, out_tuples, m->output_schema,
-                               aggregate_node_));
+                               aggregate_node_, ctx));
         if (in_ok && !out_ok) record_picky(m, blocked, surviving_dirs, true);
         else if (!blocked.empty()) record_picky(m, blocked, surviving_dirs, false);
       }
@@ -436,7 +516,9 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
   }
 
   // ---- Secondary answer (Def. 2.14) ----------------------------------------
-  if (options_.compute_secondary) {
+  // Skipped on a partial run: it walks outputs the stopped traversal never
+  // produced, and the tripped budget means no more work should be done.
+  if (options_.compute_secondary && result.complete) {
     PhaseTimer::Scope scope(phases, phase::kBottomUp);
     // Alias name -> ordinal for lineage-membership tests.
     std::unordered_map<std::string, uint32_t> ordinal_of;
@@ -465,6 +547,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
         if (entry.output == nullptr) break;  // traversal stopped earlier
         bool has_successor = false;
         for (const TraceTuple& o : *entry.output) {
+          NED_EXEC_TICK(ctx);
           for (TupleId id : o.lineage) {
             if (TupleIdAlias(id) == ordinal) {
               has_successor = true;

@@ -40,6 +40,28 @@ struct NedExplainOptions {
   bool keep_tabq_dump = false;
 };
 
+/// How much of an answer survived a resource-governed run (tentpole of the
+/// graceful-degradation subsystem). A partial answer is still a *sound*
+/// answer: every reported picky subquery was genuinely established before
+/// the limit tripped; completeness is what was given up.
+struct ResultCompleteness {
+  bool complete = true;
+  /// The limit that tripped: kDeadlineExceeded, kResourceExhausted or
+  /// kCancelled (kOk when complete).
+  StatusCode tripped = StatusCode::kOk;
+  /// Human-readable description of the tripped budget.
+  std::string detail;
+  /// C-tuples whose traversal ran to the end vs. asked.
+  size_t ctuples_finished = 0;
+  size_t ctuples_total = 0;
+  /// Name of the subquery the bottom-up traversal stopped at ("" when the
+  /// limit hit outside the traversal, e.g. during input materialisation).
+  std::string stopped_at;
+
+  /// "complete" or "partial: <code> (<detail>); k/n c-tuples; stopped at m2".
+  std::string ToString() const;
+};
+
 /// Outcome for a single (unrenamed) c-tuple.
 struct CTupleExplainResult {
   CTuple ctuple;
@@ -47,6 +69,13 @@ struct CTupleExplainResult {
   CompatibleSets compat;
   bool early_terminated = false;
   const OperatorNode* terminated_at = nullptr;
+  /// False when a resource limit stopped this c-tuple's traversal; the
+  /// answer then holds only what was established before the limit.
+  bool complete = true;
+  /// Subquery being processed when the limit tripped (nullptr otherwise).
+  const OperatorNode* stopped_at = nullptr;
+  /// The limit status that tripped (OK when complete).
+  Status limit_status;
   /// Compatible successors present in the root output: when non-zero the
   /// asked-for data is arguably *not* missing (the question may be answered
   /// by an existing result tuple).
@@ -62,6 +91,8 @@ struct NedExplainResult {
   PhaseTimer phases;
   size_t dir_total = 0;    ///< |Dir| summed over c-tuples
   size_t indir_total = 0;  ///< |InDir| summed over c-tuples
+  /// Whether the run finished, or which budget stopped it where.
+  ResultCompleteness completeness;
 };
 
 /// The NedExplain engine, bound to one (query, database) pair.
@@ -78,11 +109,20 @@ class NedExplainEngine {
   /// Runs NedExplain for `question` (Alg. 1 per unrenamed c-tuple; answers
   /// are unioned). Each call materialises a fresh input instance and
   /// evaluation, so timings are independent across calls.
-  Result<NedExplainResult> Explain(const WhyNotQuestion& question);
+  ///
+  /// With an ExecContext, the run is governed: when a deadline, budget,
+  /// cancellation or injected fault trips, the call still returns OK with a
+  /// *partial* NedExplainResult -- `completeness` records which c-tuples
+  /// finished, where the traversal stopped and what budget tripped, and the
+  /// answer holds everything established up to that point. Only
+  /// non-resource errors (type errors, internal faults) surface as statuses.
+  Result<NedExplainResult> Explain(const WhyNotQuestion& question,
+                                   ExecContext* ctx = nullptr);
 
   /// Convenience overload for single-c-tuple questions.
-  Result<NedExplainResult> Explain(const CTuple& tc) {
-    return Explain(WhyNotQuestion(std::move(tc)));
+  Result<NedExplainResult> Explain(const CTuple& tc,
+                                   ExecContext* ctx = nullptr) {
+    return Explain(WhyNotQuestion(std::move(tc)), ctx);
   }
 
   const QueryTree& tree() const { return *tree_; }
@@ -104,7 +144,8 @@ class NedExplainEngine {
   Result<CTupleExplainResult> ExplainCTuple(const CTuple& tc,
                                             QueryInput* input,
                                             Evaluator* evaluator,
-                                            PhaseTimer* phases);
+                                            PhaseTimer* phases,
+                                            ExecContext* ctx);
 
   const QueryTree* tree_ = nullptr;
   const Database* db_ = nullptr;

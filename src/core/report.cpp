@@ -18,9 +18,21 @@ std::string RenderExplainReport(const NedExplainEngine& engine,
   }
   out += StrCat("|Dir| = ", result.dir_total, ", |InDir| = ",
                 result.indir_total, "\n");
+  if (!result.completeness.complete) {
+    // Honest degradation: say up front that a limit stopped the run and how
+    // far it got, so a partial answer is never mistaken for a full one.
+    out += "*** PARTIAL RESULT: " + result.completeness.ToString() + " ***\n";
+  }
   for (size_t i = 0; i < result.per_ctuple.size(); ++i) {
     const CTupleExplainResult& part = result.per_ctuple[i];
     out += StrCat("-- c-tuple ", i + 1, ": ", part.ctuple.ToString(), "\n");
+    if (!part.complete) {
+      out += "   limit tripped: " + part.limit_status.ToString() +
+             (part.stopped_at != nullptr
+                  ? " (while processing " + part.stopped_at->name + ")"
+                  : "") +
+             "\n";
+    }
     for (const auto& [alias, ids] : part.compat.dir_by_alias) {
       std::vector<std::string> names;
       for (TupleId id : ids) names.push_back(input.DisplayTuple(id));
@@ -36,7 +48,8 @@ std::string RenderExplainReport(const NedExplainEngine& engine,
     }
     if (!part.tabq_dump.empty()) out += part.tabq_dump;
   }
-  out += "Answer:\n" + result.answer.ToString(input);
+  out += (result.completeness.complete ? "Answer:\n" : "Answer (partial):\n") +
+         result.answer.ToString(input);
   return out;
 }
 

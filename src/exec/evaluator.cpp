@@ -11,20 +11,27 @@ namespace ned {
 // QueryInput
 // ---------------------------------------------------------------------------
 
-Result<QueryInput> QueryInput::Build(const QueryTree& tree, const Database& db) {
+Result<QueryInput> QueryInput::Build(const QueryTree& tree, const Database& db,
+                                     ExecContext* ctx) {
   QueryInput input;
   uint32_t ordinal = 0;
   for (const OperatorNode* scan : tree.scans()) {
+    NED_RETURN_NOT_OK(CheckExec(ctx));
     NED_ASSIGN_OR_RETURN(const Relation* rel, db.GetRelation(scan->base_table));
     AliasData data;
     data.schema = scan->output_schema;
     data.ordinal = ordinal;
     data.tuples.reserve(rel->size());
     for (size_t row = 0; row < rel->size(); ++row) {
+      NED_EXEC_TICK(ctx);
       TraceTuple t;
       t.rid = MakeTupleId(ordinal, row);
       t.values = rel->row(row);
       t.lineage = {t.rid};
+      if (ctx != nullptr) {
+        ctx->ChargeRows(1);
+        ctx->ChargeBytes(sizeof(TraceTuple) + t.values.size() * sizeof(Value));
+      }
       data.tuples.push_back(std::move(t));
     }
     input.alias_order_.push_back(scan->alias);
@@ -93,7 +100,7 @@ std::string HowProvenance(const TraceTuple& tuple, const QueryInput& input) {
 Result<std::vector<Tuple>> ComputeAggregateTuples(
     const std::vector<Attribute>& group_by, const std::vector<AggCall>& calls,
     const std::vector<const TraceTuple*>& input, const Schema& input_schema,
-    const Schema& output_schema) {
+    const Schema& output_schema, ExecContext* ctx) {
   (void)output_schema;  // layout is group values then agg values, by contract
 
   std::vector<size_t> group_idx;
@@ -111,6 +118,7 @@ Result<std::vector<Tuple>> ComputeAggregateTuples(
   std::unordered_map<Tuple, size_t, TupleHash> group_of;
   std::vector<std::pair<Tuple, std::vector<const TraceTuple*>>> groups;
   for (const TraceTuple* t : input) {
+    NED_EXEC_TICK(ctx);
     std::vector<Value> key_values;
     key_values.reserve(group_idx.size());
     for (size_t idx : group_idx) key_values.push_back(t->values.at(idx));
@@ -132,6 +140,7 @@ Result<std::vector<Tuple>> ComputeAggregateTuples(
       bool numeric_ok = true;
       std::optional<Value> min_v, max_v;
       for (const TraceTuple* t : members) {
+        NED_EXEC_TICK(ctx);
         const Value& v = t->values.at(idx);
         if (v.is_null()) continue;
         ++count;
@@ -194,12 +203,16 @@ Result<const std::vector<TraceTuple>*> Evaluator::EvalNode(
     const OperatorNode* node) {
   auto it = outputs_.find(node);
   if (it != outputs_.end()) return &it->second;
+  // Operator boundary: a governed evaluation re-checks its limits before
+  // descending into (and after finishing) each operator.
+  NED_RETURN_NOT_OK(CheckExec(ctx_));
   for (const auto& child : node->children) {
     auto child_result = EvalNode(child.get());
     if (!child_result.ok()) return child_result.status();
   }
   NED_ASSIGN_OR_RETURN(std::vector<TraceTuple> out, Compute(node));
   tuples_produced_ += out.size();
+  NED_RETURN_NOT_OK(CheckExec(ctx_));
   auto [pos, _] = outputs_.emplace(node, std::move(out));
   return &pos->second;
 }
@@ -257,6 +270,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeSelect(
   const Schema& schema = node->children[0]->output_schema;
   std::vector<TraceTuple> out;
   for (const TraceTuple& t : in) {
+    NED_EXEC_TICK(ctx_);
     NED_ASSIGN_OR_RETURN(bool keep, node->predicate->EvalBool(t.values, schema));
     if (!keep) continue;
     TraceTuple o;
@@ -264,6 +278,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeSelect(
     o.values = t.values;
     o.preds = {t.rid};
     o.lineage = t.lineage;
+    ChargeTuple(o);
     out.push_back(std::move(o));
   }
   return out;
@@ -283,6 +298,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeProject(
   std::unordered_map<Tuple, size_t, TupleHash> seen;
   std::vector<TraceTuple> out;
   for (const TraceTuple& t : in) {
+    NED_EXEC_TICK(ctx_);
     std::vector<Value> values;
     values.reserve(indices.size());
     for (size_t idx : indices) values.push_back(t.values.at(idx));
@@ -294,6 +310,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeProject(
       o.values = std::move(projected);
       o.preds = {t.rid};
       o.lineage = t.lineage;
+      ChargeTuple(o);
       out.push_back(std::move(o));
     } else {
       TraceTuple& o = out[it->second];
@@ -381,6 +398,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeJoin(
     for (const TraceTuple& r : right) all_right.push_back(&r);
   } else {
     for (const TraceTuple& r : right) {
+      NED_EXEC_TICK(ctx_);
       std::optional<Tuple> key = key_of(r, rkey);
       if (key.has_value()) table[*key].push_back(&r);
     }
@@ -388,6 +406,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeJoin(
 
   std::vector<TraceTuple> out;
   for (const TraceTuple& l : left) {
+    NED_EXEC_TICK(ctx_);
     const std::vector<const TraceTuple*>* matches = nullptr;
     if (lkey.empty()) {
       matches = &all_right;
@@ -399,6 +418,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeJoin(
       matches = &it->second;
     }
     for (const TraceTuple* r : *matches) {
+      NED_EXEC_TICK(ctx_);  // a cross join's inner loop must stay interruptible
       // Hash buckets can contain numeric-coerced collisions; verify equality.
       bool keys_equal = true;
       for (size_t k = 0; k < lkey.size(); ++k) {
@@ -426,6 +446,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeJoin(
       o.values = std::move(joined);
       o.preds = {l.rid, r->rid};
       o.lineage = BaseSetUnion(l.lineage, r->lineage);
+      ChargeTuple(o);
       out.push_back(std::move(o));
     }
   }
@@ -466,8 +487,9 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeUnion(
   std::unordered_map<Tuple, size_t, TupleHash> seen;
   std::vector<TraceTuple> out;
   auto add_side = [&](const std::vector<TraceTuple>& side,
-                      const std::vector<size_t>& map) {
+                      const std::vector<size_t>& map) -> Status {
     for (const TraceTuple& t : side) {
+      NED_EXEC_TICK(ctx_);
       std::vector<Value> values;
       values.reserve(map.size());
       for (size_t i : map) values.push_back(t.values.at(i));
@@ -479,6 +501,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeUnion(
         o.values = std::move(mapped);
         o.preds = {t.rid};
         o.lineage = t.lineage;
+        ChargeTuple(o);
         out.push_back(std::move(o));
       } else {
         TraceTuple& o = out[it->second];
@@ -486,9 +509,10 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeUnion(
         o.lineage = BaseSetUnion(o.lineage, t.lineage);
       }
     }
+    return Status::OK();
   };
-  add_side(left, lmap);
-  add_side(right, rmap);
+  NED_RETURN_NOT_OK(add_side(left, lmap));
+  NED_RETURN_NOT_OK(add_side(right, rmap));
   return out;
 }
 
@@ -524,6 +548,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeDifference(
   // Value set of the right operand (aligned through the renaming).
   std::unordered_set<Tuple, TupleHash> right_values;
   for (const TraceTuple& t : right) {
+    NED_EXEC_TICK(ctx_);
     std::vector<Value> values;
     values.reserve(rmap.size());
     for (size_t i : rmap) values.push_back(t.values.at(i));
@@ -536,6 +561,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeDifference(
   std::unordered_map<Tuple, size_t, TupleHash> seen;
   std::vector<TraceTuple> out;
   for (const TraceTuple& t : left) {
+    NED_EXEC_TICK(ctx_);
     std::vector<Value> values;
     values.reserve(lmap.size());
     for (size_t i : lmap) values.push_back(t.values.at(i));
@@ -548,6 +574,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeDifference(
       o.values = std::move(mapped);
       o.preds = {t.rid};
       o.lineage = t.lineage;
+      ChargeTuple(o);
       out.push_back(std::move(o));
     } else {
       TraceTuple& o = out[it->second];
@@ -574,6 +601,7 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeAggregate(
   std::vector<std::vector<const TraceTuple*>> groups;
   std::vector<Tuple> keys;
   for (const TraceTuple& t : in) {
+    NED_EXEC_TICK(ctx_);
     std::vector<Value> key_values;
     key_values.reserve(group_idx.size());
     for (size_t idx : group_idx) key_values.push_back(t.values.at(idx));
@@ -592,15 +620,17 @@ Result<std::vector<TraceTuple>> Evaluator::ComputeAggregate(
     NED_ASSIGN_OR_RETURN(
         std::vector<Tuple> agg_rows,
         ComputeAggregateTuples(node->group_by, node->aggregates, groups[g],
-                               child_schema, node->output_schema));
+                               child_schema, node->output_schema, ctx_));
     NED_CHECK(agg_rows.size() == 1);
     TraceTuple o;
     o.rid = NextRid();
     o.values = std::move(agg_rows[0]);
     for (const TraceTuple* member : groups[g]) {
+      NED_EXEC_TICK(ctx_);
       o.preds.push_back(member->rid);
       o.lineage = BaseSetUnion(o.lineage, member->lineage);
     }
+    ChargeTuple(o);
     out.push_back(std::move(o));
   }
   return out;

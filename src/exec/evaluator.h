@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "algebra/query_tree.h"
+#include "exec/exec_context.h"
 #include "exec/lineage.h"
 
 namespace ned {
@@ -27,8 +28,10 @@ namespace ned {
 /// The materialised query input instance I_Q.
 class QueryInput {
  public:
-  /// Instantiates every scan alias of `tree` from `db`.
-  static Result<QueryInput> Build(const QueryTree& tree, const Database& db);
+  /// Instantiates every scan alias of `tree` from `db`. When `ctx` is given,
+  /// materialisation charges its budgets and honours its deadline/cancel.
+  static Result<QueryInput> Build(const QueryTree& tree, const Database& db,
+                                  ExecContext* ctx = nullptr);
 
   /// Tuples of one alias; ids are stable across evaluations.
   Result<const std::vector<TraceTuple>*> AliasTuples(
@@ -59,11 +62,16 @@ class QueryInput {
   std::vector<std::string> alias_order_;  // index = alias ordinal
 };
 
-/// Memoizing bottom-up evaluator over one (tree, input) pair.
+/// Memoizing bottom-up evaluator over one (tree, input) pair. An optional
+/// ExecContext makes every operator interruptible: limits are checked at
+/// operator boundaries and every kCheckInterval rows inside the
+/// join/aggregate inner loops, and a tripped limit surfaces as a
+/// kDeadlineExceeded / kResourceExhausted / kCancelled status.
 class Evaluator {
  public:
-  Evaluator(const QueryTree* tree, const QueryInput* input)
-      : tree_(tree), input_(input) {}
+  Evaluator(const QueryTree* tree, const QueryInput* input,
+            ExecContext* ctx = nullptr)
+      : tree_(tree), input_(input), ctx_(ctx) {}
 
   /// Output of `node`, evaluating (and caching) descendants as needed.
   Result<const std::vector<TraceTuple>*> EvalNode(const OperatorNode* node);
@@ -86,6 +94,8 @@ class Evaluator {
 
   const QueryTree& tree() const { return *tree_; }
   const QueryInput& input() const { return *input_; }
+  /// The governing context (nullptr when evaluation is unlimited).
+  ExecContext* exec_context() const { return ctx_; }
 
  private:
   Result<std::vector<TraceTuple>> Compute(const OperatorNode* node);
@@ -98,8 +108,18 @@ class Evaluator {
 
   Rid NextRid() { return next_rid_++; }
 
+  /// Charges `t` against the context's budgets (no-op without a context).
+  void ChargeTuple(const TraceTuple& t) {
+    if (ctx_ == nullptr) return;
+    ctx_->ChargeRows(1);
+    ctx_->ChargeBytes(sizeof(TraceTuple) + t.values.size() * sizeof(Value) +
+                      t.lineage.size() * sizeof(TupleId) +
+                      t.preds.size() * sizeof(Rid));
+  }
+
   const QueryTree* tree_;
   const QueryInput* input_;
+  ExecContext* ctx_ = nullptr;
   std::unordered_map<const OperatorNode*, std::vector<TraceTuple>> outputs_;
   Rid next_rid_ = kIntermediateRidBase + 1;
   size_t tuples_produced_ = 0;
@@ -112,7 +132,7 @@ class Evaluator {
 Result<std::vector<Tuple>> ComputeAggregateTuples(
     const std::vector<Attribute>& group_by, const std::vector<AggCall>& calls,
     const std::vector<const TraceTuple*>& input, const Schema& input_schema,
-    const Schema& output_schema);
+    const Schema& output_schema, ExecContext* ctx = nullptr);
 
 }  // namespace ned
 

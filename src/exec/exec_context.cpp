@@ -1,0 +1,45 @@
+#include "exec/exec_context.h"
+
+#include "common/strings.h"
+
+namespace ned {
+
+bool IsResourceLimit(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ExecContext::CheckPoint() {
+  ++steps_;
+  if (inject_at_ != 0 && steps_ == inject_at_) {
+    return Status::ResourceExhausted(
+        StrCat("injected failure at step ", steps_));
+  }
+  if (cancel_requested()) {
+    return Status::Cancelled("evaluation cancelled by caller");
+  }
+  if (row_budget_ != 0 && rows_charged_ > row_budget_) {
+    return Status::ResourceExhausted(
+        StrCat("row budget exhausted: materialized ", rows_charged_,
+               " rows, budget ", row_budget_));
+  }
+  if (memory_budget_ != 0 && bytes_charged_ > memory_budget_) {
+    return Status::ResourceExhausted(
+        StrCat("memory budget exhausted: ~", bytes_charged_,
+               " bytes materialized, budget ", memory_budget_));
+  }
+  if (deadline_.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline_) {
+    return Status::DeadlineExceeded(
+        StrCat("deadline exceeded after ", steps_, " checkpoints"));
+  }
+  return Status::OK();
+}
+
+}  // namespace ned

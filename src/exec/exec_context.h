@@ -1,0 +1,151 @@
+/// \file exec_context.h
+/// \brief Resource governance for query evaluation: deadlines, budgets,
+/// cooperative cancellation and deterministic fault injection.
+///
+/// A single adversarial why-not question (a large cross join before early
+/// termination kicks in, or a gov-scale aggregate) can otherwise pin a core
+/// for unbounded time and memory. ExecContext carries the limits of one
+/// evaluation: every interruptible loop in the engine calls CheckPoint() at
+/// operator boundaries and every kCheckInterval rows inside join/aggregate
+/// inner loops. A tripped limit surfaces as kDeadlineExceeded /
+/// kResourceExhausted / kCancelled, which the engine converts into a
+/// *partial* answer (ResultCompleteness) rather than a hard failure.
+///
+/// CheckPoint() maintains a deterministic step counter that does not depend
+/// on wall-clock time, so InjectFailureAt(step) reproducibly fails the same
+/// evaluation point across runs -- the hook exec_limits_test uses to prove
+/// that cancellation at *any* step leaks nothing and never corrupts answers.
+
+#ifndef NED_EXEC_EXEC_CONTEXT_H_
+#define NED_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace ned {
+
+/// Inner loops call CheckEvery() per row; the full CheckPoint() (clock read,
+/// budget comparison, injection test) runs once per this many rows.
+inline constexpr uint64_t kCheckInterval = 256;
+
+/// Limits and cancellation for one evaluation. Not thread-safe except for
+/// RequestCancel()/cancel_requested(), which may be called from another
+/// thread to interrupt a running evaluation cooperatively.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  // ---- configuration ------------------------------------------------------
+
+  /// Absolute wall-clock deadline.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ = tp;
+  }
+  /// Deadline `ms` milliseconds from now.
+  void set_deadline_after_ms(int64_t ms) {
+    deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  }
+  bool has_deadline() const { return deadline_.has_value(); }
+
+  /// Maximum materialized rows (query input + intermediate results) across
+  /// the evaluation. 0 = unlimited.
+  void set_row_budget(size_t max_rows) { row_budget_ = max_rows; }
+  size_t row_budget() const { return row_budget_; }
+
+  /// Approximate memory budget in bytes for materialized state. 0 =
+  /// unlimited. Accounting is an estimate (tuple payload + lineage), not an
+  /// allocator hook.
+  void set_memory_budget(size_t max_bytes) { memory_budget_ = max_bytes; }
+  size_t memory_budget() const { return memory_budget_; }
+
+  /// Requests cooperative cancellation; the evaluation stops at its next
+  /// checkpoint. Safe to call from another thread.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministically fails the `step_index`-th checkpoint (1-based) with
+  /// kResourceExhausted. 0 disables injection. Steps count CheckPoint()
+  /// calls, which are independent of wall-clock time, so a given
+  /// (query, data, step_index) always fails at the same evaluation point.
+  void InjectFailureAt(uint64_t step_index) { inject_at_ = step_index; }
+
+  // ---- accounting ---------------------------------------------------------
+
+  /// Charges `n` materialized rows against the row budget (checked at the
+  /// next checkpoint, so a tight inner loop only pays an add here).
+  void ChargeRows(size_t n) { rows_charged_ += n; }
+  /// Charges approximately `n` bytes against the memory budget.
+  void ChargeBytes(size_t n) { bytes_charged_ += n; }
+
+  size_t rows_charged() const { return rows_charged_; }
+  size_t bytes_charged() const { return bytes_charged_; }
+  /// Checkpoints passed so far (the fault-injection step space).
+  uint64_t steps() const { return steps_; }
+
+  // ---- checking -----------------------------------------------------------
+
+  /// Full limit check: fault injection, cancellation, budgets, deadline.
+  /// Call at operator boundaries and (via CheckEvery) inside inner loops.
+  Status CheckPoint();
+
+  /// Per-iteration check for inner loops: runs the full CheckPoint every
+  /// kCheckInterval calls, keeping the steady-state cost to one add+branch
+  /// per row. Budgets are charged separately via ChargeRows/ChargeBytes when
+  /// tuples actually materialize.
+  Status CheckEvery() {
+    if ((++ticks_ & (kCheckInterval - 1)) != 0) return Status::OK();
+    return CheckPoint();
+  }
+
+  /// Resets accounting and step counters (budgets/deadline stay configured).
+  /// Lets one context govern several sequential evaluations in tests.
+  void ResetCounters() {
+    rows_charged_ = 0;
+    bytes_charged_ = 0;
+    steps_ = 0;
+    ticks_ = 0;
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  size_t row_budget_ = 0;
+  size_t memory_budget_ = 0;
+  std::atomic<bool> cancelled_{false};
+  uint64_t inject_at_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t ticks_ = 0;
+  size_t rows_charged_ = 0;
+  size_t bytes_charged_ = 0;
+};
+
+/// True for the status codes that mean "a governed limit tripped" rather
+/// than "the computation is wrong": kDeadlineExceeded, kResourceExhausted,
+/// kCancelled. The engine converts these into flagged partial answers.
+bool IsResourceLimit(const Status& status);
+
+/// Null-safe checkpoint helper for call sites holding an optional context.
+inline Status CheckExec(ExecContext* ctx) {
+  return ctx == nullptr ? Status::OK() : ctx->CheckPoint();
+}
+
+/// Per-iteration check inside hot loops: one branch when no context is
+/// installed, one add+branch when one is. Propagates a tripped limit out of
+/// the enclosing function (which must return Status or Result<T>).
+#define NED_EXEC_TICK(ctx)                           \
+  do {                                               \
+    if ((ctx) != nullptr) {                          \
+      ::ned::Status _tick_st = (ctx)->CheckEvery();  \
+      if (!_tick_st.ok()) return _tick_st;           \
+    }                                                \
+  } while (0)
+
+}  // namespace ned
+
+#endif  // NED_EXEC_EXEC_CONTEXT_H_

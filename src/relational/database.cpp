@@ -58,19 +58,47 @@ Status Database::LoadCsv(const std::string& name, const std::string& csv_text) {
   }
   Schema schema;
   for (const auto& col : doc.rows[0]) {
-    schema.Add(Attribute(name, Trim(col)));
+    std::string trimmed = Trim(col);
+    if (schema.IndexOf(Attribute(name, trimmed)).has_value()) {
+      return Status::ParseError(StrCat("duplicate CSV header \"", trimmed,
+                                       "\" in relation ", name, " (line ",
+                                       doc.line_of[0], ")"));
+    }
+    schema.Add(Attribute(name, std::move(trimmed)));
   }
   Relation rel(name, schema);
+  // Per-column type discipline: the first non-null value fixes a column as
+  // numeric or textual; a later non-empty field that breaks that (e.g.
+  // "12x3" in a numeric column) is a load error, not a silent string.
+  // Int->double widening within numeric stays allowed.
+  std::vector<ValueType> col_type(schema.size(), ValueType::kNull);
   for (size_t r = 1; r < doc.rows.size(); ++r) {
     const auto& row = doc.rows[r];
+    size_t line = r < doc.line_of.size() ? doc.line_of[r] : r + 1;
     if (row.size() != schema.size()) {
-      return Status::ParseError(StrCat("CSV row ", r, " of relation ", name,
-                                       " has ", row.size(), " fields, expected ",
+      return Status::ParseError(StrCat("CSV row at line ", line,
+                                       " of relation ", name, " has ",
+                                       row.size(), " fields, expected ",
                                        schema.size()));
     }
     std::vector<Value> values;
     values.reserve(row.size());
-    for (const auto& field : row) values.push_back(Value::ParseLenient(field));
+    for (size_t c = 0; c < row.size(); ++c) {
+      Value v = Value::ParseLenient(row[c]);
+      if (!v.is_null()) {
+        bool numeric = v.is_numeric();
+        if (col_type[c] == ValueType::kNull) {
+          col_type[c] = numeric ? ValueType::kInt : ValueType::kString;
+        } else if ((col_type[c] == ValueType::kInt) != numeric) {
+          return Status::ParseError(
+              StrCat("value \"", row[c], "\" at line ", line, " of relation ",
+                     name, " does not match the ",
+                     col_type[c] == ValueType::kInt ? "numeric" : "textual",
+                     " type of column ", schema.at(c).name));
+        }
+      }
+      values.push_back(std::move(v));
+    }
     rel.AddRow(std::move(values));
   }
   return AddRelation(std::move(rel));

@@ -47,7 +47,7 @@ bool IsCompatible(const CTuple& tc, const Tuple& tuple, const Schema& schema) {
 
 Result<CompatibleSets> FindCompatibles(
     const CTuple& unrenamed_tc, const QueryInput& input,
-    const std::vector<std::string>& agg_output_names) {
+    const std::vector<std::string>& agg_output_names, ExecContext* ctx) {
   CompatibleSets sets;
 
   // Split fields: per-alias qualified fields vs aggregation-output fields.
@@ -75,6 +75,7 @@ Result<CompatibleSets> FindCompatibles(
       // InDir: the whole instance of an unreferenced relation.
       sets.indir_aliases.push_back(alias);
       for (const TraceTuple& t : *tuples) {
+        NED_EXEC_TICK(ctx);
         sets.indir.insert(t.rid);
         sets.all.insert(t.rid);
       }
@@ -83,6 +84,7 @@ Result<CompatibleSets> FindCompatibles(
     NED_ASSIGN_OR_RETURN(const Schema* schema, input.AliasSchema(alias));
     std::vector<TupleId>& dir_list = sets.dir_by_alias[alias];
     for (const TraceTuple& t : *tuples) {
+      NED_EXEC_TICK(ctx);
       if (IsCompatible(unrenamed_tc, t.values, *schema)) {
         dir_list.push_back(t.rid);
         sets.dir.insert(t.rid);

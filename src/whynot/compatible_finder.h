@@ -59,10 +59,12 @@ bool IsCompatible(const CTuple& tc, const Tuple& tuple, const Schema& schema);
 
 /// Computes Dir/InDir for an unrenamed c-tuple over the query input.
 /// `agg_output_names` lists the aggregate output attributes of the query
-/// (empty for SPJ); unqualified fields must name one of them.
+/// (empty for SPJ); unqualified fields must name one of them. An optional
+/// ExecContext makes the scan over the input instance interruptible.
 Result<CompatibleSets> FindCompatibles(
     const CTuple& unrenamed_tc, const QueryInput& input,
-    const std::vector<std::string>& agg_output_names);
+    const std::vector<std::string>& agg_output_names,
+    ExecContext* ctx = nullptr);
 
 }  // namespace ned
 

@@ -101,6 +101,27 @@ TEST(Result, ErrorAccess) {
   EXPECT_EQ(r.value_or(7), 7);
 }
 
+TEST(Result, ValueOrOnLvalueCopiesLeavingResultIntact) {
+  Result<std::string> r(std::string("payload"));
+  std::string got = r.value_or("fallback");
+  EXPECT_EQ(got, "payload");
+  // The lvalue overload must copy, not move-from, the stored value.
+  EXPECT_EQ(*r, "payload");
+}
+
+TEST(Result, ValueOrOnRvalueMovesStoredValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  // A move-only payload compiles only through the && overload.
+  std::unique_ptr<int> got = std::move(r).value_or(nullptr);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 5);
+
+  Result<std::unique_ptr<int>> err = Status::NotFound("gone");
+  std::unique_ptr<int> fb = std::move(err).value_or(std::make_unique<int>(9));
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(*fb, 9);
+}
+
 Result<int> Half(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;

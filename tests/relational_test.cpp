@@ -170,6 +170,55 @@ TEST(Database, LoadCsvRejectsRaggedRows) {
   EXPECT_FALSE(db.LoadCsv("A", "a,b\n1\n").ok());
 }
 
+TEST(Database, LoadCsvReportsRaggedRowLineNumber) {
+  Database db;
+  // Row on physical line 3 has three fields against a two-column header.
+  Status st = db.LoadCsv("A", "a,b\n1,2\n3,4,5\n6,7\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 3"), std::string::npos) << st.ToString();
+}
+
+TEST(Database, LoadCsvRejectsDuplicateHeaders) {
+  Database db;
+  Status st = db.LoadCsv("A", "id,name,id\n1,x,2\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+  EXPECT_NE(st.message().find("id"), std::string::npos);
+}
+
+TEST(Database, LoadCsvRejectsNonNumericInNumericColumn) {
+  Database db;
+  // Column b is numeric (first value 10); "12x3" on line 4 is not a number
+  // and must be a load error, not a silently mistyped string.
+  Status st = db.LoadCsv("A", "a,b\nx,10\ny,20\nz,12x3\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 4"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("12x3"), std::string::npos);
+}
+
+TEST(Database, LoadCsvAllowsNullsAndIntToRealWidening) {
+  Database db;
+  // Empty fields are NULLs and do not fix a column's type; 2.5 after 10
+  // stays within the numeric class.
+  Status st = db.LoadCsv("A", "a,b\nx,\ny,10\nz,2.5\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto rel = db.GetRelation("A");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE((*rel)->row(0).at(1).is_null());
+  EXPECT_EQ((*rel)->row(2).at(1).type(), ValueType::kDouble);
+}
+
+TEST(Database, LoadCsvReportsUnterminatedQuoteLine) {
+  Database db;
+  Status st = db.LoadCsv("A", "a,b\n1,\"open\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
 TEST(Database, DumpCsvRoundTrips) {
   Database db;
   NED_CHECK(db.LoadCsv("A", "aid,name\na1,Homer\na2,\"quo\"\"ted\"\n").ok());

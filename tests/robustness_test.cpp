@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "baseline/whynot_baseline.h"
 #include "core/nedexplain.h"
+#include "datasets/running_example.h"
+#include "exec/exec_context.h"
 #include "tests/test_util.h"
 
 namespace ned {
@@ -218,6 +222,81 @@ TEST(Robustness, RepeatedExplainCallsAreIndependent) {
 TEST(Robustness, QueryAgainstMissingTableFailsAtCompile) {
   Database db = MakeTinyDb();
   EXPECT_FALSE(CompileSql("SELECT ghost.x FROM ghost", db).ok());
+}
+
+// ---- resource-governed runs ---------------------------------------------------------
+// (exec_limits_test.cpp covers the subsystem in depth; these are the
+// API-level guarantees: a limit is never an error and never a wrong answer.)
+
+TEST(Robustness, TimeoutOnCrossJoinYieldsFlaggedPartial) {
+  Database db;
+  std::string r = "a\n", s = "b\n";
+  for (int i = 0; i < 1200; ++i) {
+    r += std::to_string(i) + "\n";
+    s += std::to_string(i) + "\n";
+  }
+  NED_CHECK(db.LoadCsv("R", r).ok());
+  NED_CHECK(db.LoadCsv("S", s).ok());
+  QueryTree tree = MustCompile("SELECT R.a FROM R, S WHERE R.a >= 0", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("R.a", Value::Int(3));  // compatible, so the join must be evaluated
+
+  ExecContext ctx;
+  ctx.set_deadline_after_ms(25);
+  auto result = engine->Explain(WhyNotQuestion(tc), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->completeness.complete);
+  EXPECT_EQ(result->completeness.tripped, StatusCode::kDeadlineExceeded);
+}
+
+TEST(Robustness, RowBudgetOnAggregateYieldsFlaggedPartial) {
+  Database db;
+  NED_ASSERT_OK_AND_MOVE(db, BuildRunningExampleDb());
+  QueryTree tree;
+  NED_ASSERT_OK_AND_MOVE(tree, BuildRunningExampleTree(db));
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+
+  ExecContext ctx;
+  ctx.set_row_budget(4);
+  auto result = engine->Explain(RunningExampleQuestionHomer(), &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->completeness.complete);
+  EXPECT_EQ(result->completeness.tripped, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(IsResourceLimit(Status(result->completeness.tripped,
+                                     result->completeness.detail)));
+}
+
+TEST(Robustness, PartialAnswerReportsCompletenessHonestly) {
+  Database db;
+  NED_ASSERT_OK_AND_MOVE(db, BuildRunningExampleDb());
+  QueryTree tree;
+  NED_ASSERT_OK_AND_MOVE(tree, BuildRunningExampleTree(db));
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+
+  // A clean run is marked complete with all c-tuples accounted for.
+  auto full = engine->Explain(RunningExampleQuestion());
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->completeness.complete);
+  EXPECT_EQ(full->completeness.ToString(), "complete");
+  EXPECT_EQ(full->completeness.ctuples_finished,
+            full->completeness.ctuples_total);
+
+  // An interrupted run says what tripped and how far it got, and its answer
+  // never invents subqueries the complete run does not blame.
+  ExecContext ctx;
+  ctx.InjectFailureAt(2);
+  auto partial = engine->Explain(RunningExampleQuestion(), &ctx);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_FALSE(partial->completeness.complete);
+  EXPECT_LT(partial->completeness.ctuples_finished,
+            partial->completeness.ctuples_total);
+  EXPECT_NE(partial->completeness.ToString().find("partial"),
+            std::string::npos);
+  EXPECT_LE(partial->answer.condensed.size(), full->answer.condensed.size());
 }
 
 }  // namespace
