@@ -165,8 +165,14 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
     // node's output tuples that are (plain, not valid) successors of piece
     // p's items. A manipulation is *frontier picky* when some piece has
     // traced successors in the manipulation's input but none in its output;
-    // the traversal stops at the first such manipulation ([2] reports a
-    // single manipulation per question, not a per-tuple breakdown).
+    // the first such manipulation (TabQ order) is the answer ([2] reports a
+    // single manipulation per question, not a per-tuple breakdown). The
+    // traversal must still run to the root: successors of *any* piece
+    // reaching the result make the algorithm conclude the answer is not
+    // missing and return nothing -- even when another piece was blocked on
+    // the way (the Sec. 1 Q2 / Crime8 shortcoming), and even when the same
+    // piece only survives through a different alias of a self-joined
+    // relation (Crime6/7).
     //
     // Lineage is *re-derived per manipulation* by walking the provenance
     // graph down to the base tuples, with no cross-node memoisation. This
@@ -233,12 +239,10 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
         any_input =
             any_input || !evaluator->TryGetOutput(child.get())->empty();
       }
-      // [2]'s empty-output rule: a manipulation that empties the data flow
-      // blocks everything downstream (Crime5's sigma sector>99).
-      if (output->empty() && any_input) {
-        frontier = m;
-        break;
-      }
+      // A manipulation with empty output contributes no successors; the
+      // empty-output rule blames it in the frontier scan below. Tracing
+      // continues, since other branches may still carry successors.
+      if (output->empty()) continue;
       // One lineage query per output tuple of this manipulation.
       for (const TraceTuple& o : *output) {
         if (ctx != nullptr) {
@@ -261,25 +265,59 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
         }
       }
       if (!result.complete) break;
-      for (size_t p = 0; p < n_pieces && frontier == nullptr; ++p) {
-        bool in_nonempty = false;
-        for (const auto& child : m->children) {
-          if (!traced[child.get()][p].empty()) in_nonempty = true;
-        }
-        if (in_nonempty && out_sets[p].empty()) frontier = m;
-      }
-      if (frontier != nullptr) break;
     }
 
-    if (frontier == nullptr && result.complete &&
-        traversal_ == BaselineTraversal::kBottomUp) {
-      // Some piece's successors reached the result: the algorithm concludes
-      // the answer is not missing, even when the survivors carry only some
-      // pieces of the missing tuple (the Sec. 1 Q2 example; Crime8).
-      auto it = traced.find(tree_->root());
-      if (it != traced.end()) {
-        for (const auto& set : it->second) {
-          if (!set.empty()) part.answer_deemed_present = true;
+    if (result.complete && traversal_ == BaselineTraversal::kBottomUp) {
+      // Frontier: the earliest manipulation (TabQ order) that empties a
+      // non-empty data flow (Crime5's sigma sector>99), or that takes a
+      // piece's traced successors in its input, emits none, and has no
+      // successors of that piece anywhere above it. The "above" condition
+      // matters for self-joins: a piece fed through the other alias of the
+      // same stored relation can re-surface in a join ancestor, so the piece
+      // actually dies later (or not at all) -- which is where the top-down
+      // descent places the boundary. A piece that reaches the root has the
+      // root among its ancestors and thus never yields a boundary.
+      for (const OperatorNode* m : tree_->bottom_up()) {
+        if (m->is_leaf()) continue;
+        bool any_input = false;
+        for (const auto& child : m->children) {
+          any_input =
+              any_input || !evaluator->TryGetOutput(child.get())->empty();
+        }
+        if (evaluator->TryGetOutput(m)->empty() && any_input) {
+          frontier = m;
+          break;
+        }
+        bool boundary = false;
+        for (size_t p = 0; p < n_pieces && !boundary; ++p) {
+          if (!traced.at(m)[p].empty()) continue;
+          bool in_nonempty = false;
+          for (const auto& child : m->children) {
+            if (!traced.at(child.get())[p].empty()) in_nonempty = true;
+          }
+          if (!in_nonempty) continue;
+          bool survives_above = false;
+          for (const OperatorNode* a = m->parent; a != nullptr;
+               a = a->parent) {
+            if (!traced.at(a)[p].empty()) survives_above = true;
+          }
+          if (!survives_above) boundary = true;
+        }
+        if (boundary) {
+          frontier = m;
+          break;
+        }
+      }
+      if (frontier == nullptr) {
+        // No boundary, and some piece's successors reached the result: the
+        // algorithm concludes the answer is not missing, even when the
+        // survivors carry only some pieces of the missing tuple (the Sec. 1
+        // Q2 example; Crime8) or arrived through the wrong alias (Crime6/7).
+        auto it = traced.find(tree_->root());
+        if (it != traced.end()) {
+          for (const auto& set : it->second) {
+            if (!set.empty()) part.answer_deemed_present = true;
+          }
         }
       }
     }
@@ -361,6 +399,9 @@ Result<WhyNotBaselineResult> WhyNotBaseline::Explain(
         }
         if (fed) candidates.push_back(m);
       };
+      // Pieces whose successors reach the root are not descended into: they
+      // arrived, so no manipulation blocked them. Boundaries come only from
+      // pieces that died on the way.
       bool any_survives_root = false;
       for (size_t p = 0; p < n_pieces && td_limit.ok(); ++p) {
         if (has_traced(tree_->root(), p)) {

@@ -544,9 +544,25 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
           break;
         }
         const TabQEntry& entry = tabq.entry_for(m);
-        if (entry.output == nullptr) break;  // traversal stopped earlier
+        const std::vector<TraceTuple>* output = entry.output;
+        if (output == nullptr) {
+          // Early termination stopped the traversal below m, but Def. 2.14
+          // ranges over the *whole* tree: evaluate m on demand (memoized in
+          // the evaluator). A tripped resource limit degrades to a partial
+          // secondary answer instead of an error.
+          auto evaluated = evaluator->EvalNode(m);
+          if (!evaluated.ok()) {
+            if (IsResourceLimit(evaluated.status())) {
+              result.complete = false;
+              result.limit_status = evaluated.status();
+              break;
+            }
+            return evaluated.status();
+          }
+          output = *evaluated;
+        }
         bool has_successor = false;
-        for (const TraceTuple& o : *entry.output) {
+        for (const TraceTuple& o : *output) {
           NED_EXEC_TICK(ctx);
           for (TupleId id : o.lineage) {
             if (TupleIdAlias(id) == ordinal) {

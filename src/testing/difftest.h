@@ -1,0 +1,108 @@
+/// \file difftest.h
+/// \brief Differential driver: NedExplain engine vs. brute-force oracle.
+///
+/// For a seeded workload, runs both sides and compares every observable:
+/// the unrenamed question, Dir/InDir, root survivors, and the detailed,
+/// condensed and secondary answers -- with early termination off for full
+/// equality, and again with early termination on (the answers must be
+/// identical; Alg. 2 only skips work that cannot change them). Where the
+/// Why-Not baseline is defined it additionally checks the bottom-up and
+/// top-down traversals agree, and the generator's printed SQL round-trips
+/// through the lexer/parser/binder to an equivalent query.
+///
+/// Failing workloads are greedily shrunk (rows, selections, question fields,
+/// trailing set-operation blocks) to a small repro, serialised as CSV + SQL
+/// + a ready-to-paste gtest case.
+
+#ifndef NED_TESTING_DIFFTEST_H_
+#define NED_TESTING_DIFFTEST_H_
+
+#include <string>
+#include <vector>
+
+#include "testing/oracle.h"
+#include "testing/workload.h"
+
+namespace ned {
+
+struct DiffOptions {
+  /// Also run the engine with early termination enabled and require the
+  /// same answers (Alg. 2 must be answer-preserving).
+  bool check_early_termination = true;
+  /// Compare the Why-Not baseline's bottom-up vs. top-down traversals where
+  /// the baseline is defined (no aggregation/union).
+  bool check_baseline = true;
+  /// Round-trip SpecToSql() output through CompileSql and require the same
+  /// root result.
+  bool check_sql_roundtrip = true;
+  /// Testing-the-tester: pretend the engine missed one condensed subquery,
+  /// so harness and shrinker demonstrably catch an injected divergence.
+  bool inject_divergence = false;
+};
+
+/// One observed divergence. `kind` is stable ("detailed", "condensed",
+/// "secondary", "dir", "indir", "survivors", "unrenamed", "status",
+/// "baseline", "sql-roundtrip", "compile"); the shrinker uses it to keep a
+/// candidate only when it reproduces an original mismatch kind.
+struct DiffMismatch {
+  std::string kind;
+  std::string detail;
+};
+
+struct DiffOutcome {
+  uint64_t seed = 0;
+  std::string scenario;
+  /// True when both sides ran to a comparable result (possibly both
+  /// failing with the same status code, recorded in `note`).
+  bool ran = false;
+  std::string note;
+  std::vector<DiffMismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  bool HasKind(const std::string& kind) const;
+  /// Multi-line report: every mismatch plus the repro command.
+  std::string Summary() const;
+};
+
+/// Core comparison over an already-compiled (tree, db, question) triple.
+DiffOutcome RunDiff(const QueryTree& tree, const Database& db,
+                    const WhyNotQuestion& question,
+                    const DiffOptions& opts = {});
+
+/// Compiles `w` and runs the full comparison including the SQL round-trip.
+DiffOutcome RunDiffOnWorkload(const GenWorkload& w,
+                              const DiffOptions& opts = {});
+
+/// Generates the workload for `seed` and runs the full comparison.
+DiffOutcome RunDiffSeed(uint64_t seed, const DiffOptions& opts = {});
+
+struct ShrinkResult {
+  GenWorkload workload;  ///< the minimized failing workload
+  DiffOutcome outcome;   ///< outcome on `workload`
+  size_t accepted = 0;   ///< reductions that kept the failure
+  size_t tried = 0;      ///< candidate reductions evaluated
+};
+
+/// Greedily minimizes a failing workload: drops row chunks (ddmin-style
+/// halving), selection conjuncts, question c-tuples/fields/condition
+/// predicates and trailing set-operation blocks, keeping a candidate only
+/// when it still exhibits one of the original mismatch kinds. Returns `w`
+/// unchanged when `w` does not fail.
+ShrinkResult ShrinkWorkload(const GenWorkload& w, const DiffOptions& opts = {});
+
+/// "build/tools/ned_difftest --seeds N..N --shrink" -- how to reproduce.
+std::string ReproCommand(uint64_t seed);
+
+/// A self-contained, ready-to-paste gtest case reproducing `w`: builds the
+/// instance in code, compiles the printed SQL, and re-runs RunDiff.
+std::string ReproGTestCase(const GenWorkload& w);
+
+/// Writes `<dir>/seed<N>_<relation>.csv` per relation, `<dir>/seed<N>.sql`
+/// (query + question + mismatch summary as comments) and
+/// `<dir>/seed<N>_test.cc` (the gtest case). Creates `dir` if needed.
+Status WriteRepro(const GenWorkload& w, const DiffOutcome& outcome,
+                  const std::string& dir);
+
+}  // namespace ned
+
+#endif  // NED_TESTING_DIFFTEST_H_

@@ -1,0 +1,1031 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "expr/expression.h"
+
+namespace ned {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Independent expression interpretation
+// ---------------------------------------------------------------------------
+// The engine evaluates selection predicates through Expression::Eval; the
+// oracle re-interprets the same AST by structure so a bug in the expression
+// classes' Eval methods is observable, not inherited.
+
+Result<bool> OEvalBool(const Expression* e, const Tuple& row,
+                       const Schema& schema);
+
+Result<Value> OEvalExpr(const Expression* e, const Tuple& row,
+                        const Schema& schema) {
+  if (auto* col = dynamic_cast<const ColumnRef*>(e)) {
+    NED_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(col->attribute()));
+    if (idx >= row.size()) {
+      return Status::Internal("oracle: tuple narrower than schema");
+    }
+    return row.at(idx);
+  }
+  if (auto* lit = dynamic_cast<const Literal*>(e)) return lit->value();
+  if (auto* cmp = dynamic_cast<const Comparison*>(e)) {
+    NED_ASSIGN_OR_RETURN(Value l, OEvalExpr(cmp->left().get(), row, schema));
+    NED_ASSIGN_OR_RETURN(Value r, OEvalExpr(cmp->right().get(), row, schema));
+    return Value::Int(Value::Satisfies(l, cmp->op(), r) ? 1 : 0);
+  }
+  if (auto* con = dynamic_cast<const Conjunction*>(e)) {
+    for (const auto& t : con->terms()) {
+      NED_ASSIGN_OR_RETURN(bool b, OEvalBool(t.get(), row, schema));
+      if (!b) return Value::Int(0);
+    }
+    return Value::Int(1);
+  }
+  if (auto* dis = dynamic_cast<const Disjunction*>(e)) {
+    for (const auto& t : dis->terms()) {
+      NED_ASSIGN_OR_RETURN(bool b, OEvalBool(t.get(), row, schema));
+      if (b) return Value::Int(1);
+    }
+    return Value::Int(0);
+  }
+  if (dynamic_cast<const Not*>(e) != nullptr) {
+    // Not exposes no accessor; negation of EvalBool over its rendering is not
+    // reconstructible structurally, so fall back to the class's Eval. The
+    // workload generator does not emit NOT, keeping this path cold.
+    return e->Eval(row, schema);
+  }
+  return Status::Internal("oracle: unknown expression node " + e->ToString());
+}
+
+Result<bool> OEvalBool(const Expression* e, const Tuple& row,
+                       const Schema& schema) {
+  NED_ASSIGN_OR_RETURN(Value v, OEvalExpr(e, row, schema));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.as_int() != 0;
+  return Status::TypeError("oracle: expression is not boolean: " +
+                           e->ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Naive evaluation with lineage
+// ---------------------------------------------------------------------------
+
+/// An output tuple of the naive evaluator. `preds` point at the immediate
+/// predecessors as (producing node, index into its output); `lineage` is the
+/// set of base TupleIds it derives from.
+struct OTuple {
+  Tuple values;
+  std::set<TupleId> lineage;
+  std::vector<std::pair<const OperatorNode*, size_t>> preds;
+};
+
+std::set<TupleId> LineageUnion(const std::set<TupleId>& a,
+                               const std::set<TupleId>& b) {
+  std::set<TupleId> out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+/// Recomputes every subquery's output bottom-up with textbook nested-loop /
+/// linear-scan implementations. Set semantics merge value-equal tuples under
+/// *exact* Tuple equality (as the engine's documented contract does), while
+/// equi-join keys compare with numeric coercion (Value::Satisfies).
+class NaiveEval {
+ public:
+  NaiveEval(const QueryTree* tree, const Database* db)
+      : tree_(tree), db_(db) {}
+
+  Status Run() {
+    uint32_t ordinal = 0;
+    for (const OperatorNode* scan : tree_->scans()) {
+      NED_ASSIGN_OR_RETURN(const Relation* rel,
+                           db_->GetRelation(scan->base_table));
+      std::vector<OTuple> tuples;
+      tuples.reserve(rel->size());
+      for (size_t row = 0; row < rel->size(); ++row) {
+        OTuple t;
+        t.values = rel->row(row);
+        t.lineage = {MakeTupleId(ordinal, row)};
+        tuples.push_back(std::move(t));
+      }
+      out_.emplace(scan, std::move(tuples));
+      ordinal_of_[scan->alias] = ordinal;
+      ++ordinal;
+    }
+    for (const OperatorNode* node : tree_->bottom_up()) {
+      if (node->is_leaf()) continue;
+      NED_ASSIGN_OR_RETURN(std::vector<OTuple> tuples, Compute(node));
+      out_.emplace(node, std::move(tuples));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<OTuple>& Output(const OperatorNode* node) const {
+    return out_.at(node);
+  }
+  uint32_t OrdinalOf(const std::string& alias) const {
+    return ordinal_of_.at(alias);
+  }
+
+ private:
+  Result<std::vector<OTuple>> Compute(const OperatorNode* node) {
+    switch (node->kind) {
+      case OpKind::kSelect:
+        return ComputeSelect(node);
+      case OpKind::kProject:
+        return ComputeProject(node);
+      case OpKind::kJoin:
+        return ComputeJoin(node);
+      case OpKind::kUnion:
+        return ComputeUnion(node);
+      case OpKind::kDifference:
+        return ComputeDifference(node);
+      case OpKind::kAggregate:
+        return ComputeAggregate(node);
+      case OpKind::kScan:
+        break;
+    }
+    return Status::Internal("oracle: unexpected operator kind");
+  }
+
+  Result<std::vector<OTuple>> ComputeSelect(const OperatorNode* node) {
+    const OperatorNode* child = node->children[0].get();
+    const std::vector<OTuple>& in = out_.at(child);
+    std::vector<OTuple> out;
+    for (size_t i = 0; i < in.size(); ++i) {
+      NED_ASSIGN_OR_RETURN(
+          bool keep,
+          OEvalBool(node->predicate.get(), in[i].values, child->output_schema));
+      if (!keep) continue;
+      OTuple o;
+      o.values = in[i].values;
+      o.lineage = in[i].lineage;
+      o.preds = {{child, i}};
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  /// Appends `values` to `out` under set semantics: an exactly value-equal
+  /// existing tuple absorbs the new predecessor and lineage instead.
+  static void EmitSetSemantics(Tuple values, const OTuple& source,
+                               const OperatorNode* source_node, size_t index,
+                               std::vector<OTuple>* out) {
+    for (OTuple& existing : *out) {
+      if (existing.values == values) {
+        existing.preds.emplace_back(source_node, index);
+        existing.lineage = LineageUnion(existing.lineage, source.lineage);
+        return;
+      }
+    }
+    OTuple o;
+    o.values = std::move(values);
+    o.lineage = source.lineage;
+    o.preds = {{source_node, index}};
+    out->push_back(std::move(o));
+  }
+
+  Result<std::vector<OTuple>> ComputeProject(const OperatorNode* node) {
+    const OperatorNode* child = node->children[0].get();
+    const std::vector<OTuple>& in = out_.at(child);
+    std::vector<size_t> indices;
+    for (const auto& a : node->projection) {
+      NED_ASSIGN_OR_RETURN(size_t idx, child->output_schema.Resolve(a));
+      indices.push_back(idx);
+    }
+    std::vector<OTuple> out;
+    for (size_t i = 0; i < in.size(); ++i) {
+      std::vector<Value> values;
+      values.reserve(indices.size());
+      for (size_t idx : indices) values.push_back(in[i].values.at(idx));
+      EmitSetSemantics(Tuple(std::move(values)), in[i], child, i, &out);
+    }
+    return out;
+  }
+
+  Result<std::vector<OTuple>> ComputeJoin(const OperatorNode* node) {
+    const OperatorNode* lc = node->children[0].get();
+    const OperatorNode* rc = node->children[1].get();
+    const std::vector<OTuple>& left = out_.at(lc);
+    const std::vector<OTuple>& right = out_.at(rc);
+    const Schema& ls = lc->output_schema;
+    const Schema& rs = rc->output_schema;
+
+    std::vector<size_t> lkey, rkey;
+    for (const auto& t : node->renaming.triples()) {
+      NED_ASSIGN_OR_RETURN(size_t li, ls.Resolve(t.a1));
+      NED_ASSIGN_OR_RETURN(size_t ri, rs.Resolve(t.a2));
+      lkey.push_back(li);
+      rkey.push_back(ri);
+    }
+
+    // Output column sources, resolved as the output schema prescribes:
+    // renamed attributes read from the left operand.
+    struct Source {
+      int side;
+      size_t index;
+    };
+    std::vector<Source> sources;
+    for (const auto& attr : node->output_schema.attributes()) {
+      std::optional<Source> src;
+      if (attr.qualified()) {
+        if (auto idx = ls.IndexOf(attr); idx.has_value()) src = Source{0, *idx};
+        else if (auto ridx = rs.IndexOf(attr); ridx.has_value())
+          src = Source{1, *ridx};
+      } else {
+        std::optional<RenameTriple> triple =
+            node->renaming.FindByNewName(attr.name);
+        if (triple.has_value()) {
+          NED_ASSIGN_OR_RETURN(size_t idx, ls.Resolve(triple->a1));
+          src = Source{0, idx};
+        } else if (auto idx = ls.IndexOf(attr); idx.has_value()) {
+          src = Source{0, *idx};
+        } else if (auto ridx = rs.IndexOf(attr); ridx.has_value()) {
+          src = Source{1, *ridx};
+        }
+      }
+      if (!src.has_value()) {
+        return Status::Internal("oracle: join output attribute has no source");
+      }
+      sources.push_back(*src);
+    }
+
+    std::vector<OTuple> out;
+    for (size_t i = 0; i < left.size(); ++i) {
+      for (size_t j = 0; j < right.size(); ++j) {
+        bool keys_equal = true;
+        for (size_t k = 0; k < lkey.size(); ++k) {
+          // NULL never joins: Satisfies is false whenever a side is NULL.
+          if (!Value::Satisfies(left[i].values.at(lkey[k]), CompareOp::kEq,
+                                right[j].values.at(rkey[k]))) {
+            keys_equal = false;
+            break;
+          }
+        }
+        if (!keys_equal) continue;
+        std::vector<Value> values;
+        values.reserve(sources.size());
+        for (const Source& s : sources) {
+          values.push_back(s.side == 0 ? left[i].values.at(s.index)
+                                       : right[j].values.at(s.index));
+        }
+        Tuple joined(std::move(values));
+        if (node->extra_predicate != nullptr) {
+          NED_ASSIGN_OR_RETURN(bool keep,
+                               OEvalBool(node->extra_predicate.get(), joined,
+                                         node->output_schema));
+          if (!keep) continue;
+        }
+        OTuple o;
+        o.values = std::move(joined);
+        o.lineage = LineageUnion(left[i].lineage, right[j].lineage);
+        o.preds = {{lc, i}, {rc, j}};
+        out.push_back(std::move(o));
+      }
+    }
+    return out;
+  }
+
+  /// Column mapping of a union/difference operand into the output layout.
+  Result<std::vector<size_t>> SideMapping(const OperatorNode* node,
+                                          const Schema& side) const {
+    std::vector<size_t> map(node->output_schema.size(), 0);
+    for (size_t out_i = 0; out_i < node->output_schema.size(); ++out_i) {
+      const Attribute& target = node->output_schema.at(out_i);
+      bool found = false;
+      for (size_t i = 0; i < side.size(); ++i) {
+        if (node->renaming.Apply(side.at(i)) == target) {
+          map[out_i] = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::TypeError("oracle: set operand missing attribute " +
+                                 target.FullName());
+      }
+    }
+    return map;
+  }
+
+  static Tuple MapTuple(const Tuple& t, const std::vector<size_t>& map) {
+    std::vector<Value> values;
+    values.reserve(map.size());
+    for (size_t i : map) values.push_back(t.at(i));
+    return Tuple(std::move(values));
+  }
+
+  Result<std::vector<OTuple>> ComputeUnion(const OperatorNode* node) {
+    const OperatorNode* lc = node->children[0].get();
+    const OperatorNode* rc = node->children[1].get();
+    NED_ASSIGN_OR_RETURN(std::vector<size_t> lmap,
+                         SideMapping(node, lc->output_schema));
+    NED_ASSIGN_OR_RETURN(std::vector<size_t> rmap,
+                         SideMapping(node, rc->output_schema));
+    std::vector<OTuple> out;
+    const std::vector<OTuple>& left = out_.at(lc);
+    for (size_t i = 0; i < left.size(); ++i) {
+      EmitSetSemantics(MapTuple(left[i].values, lmap), left[i], lc, i, &out);
+    }
+    const std::vector<OTuple>& right = out_.at(rc);
+    for (size_t j = 0; j < right.size(); ++j) {
+      EmitSetSemantics(MapTuple(right[j].values, rmap), right[j], rc, j, &out);
+    }
+    return out;
+  }
+
+  Result<std::vector<OTuple>> ComputeDifference(const OperatorNode* node) {
+    const OperatorNode* lc = node->children[0].get();
+    const OperatorNode* rc = node->children[1].get();
+    NED_ASSIGN_OR_RETURN(std::vector<size_t> lmap,
+                         SideMapping(node, lc->output_schema));
+    NED_ASSIGN_OR_RETURN(std::vector<size_t> rmap,
+                         SideMapping(node, rc->output_schema));
+    std::vector<Tuple> right_values;
+    for (const OTuple& t : out_.at(rc)) {
+      right_values.push_back(MapTuple(t.values, rmap));
+    }
+    std::vector<OTuple> out;
+    const std::vector<OTuple>& left = out_.at(lc);
+    for (size_t i = 0; i < left.size(); ++i) {
+      Tuple mapped = MapTuple(left[i].values, lmap);
+      // Membership in the right operand is exact value equality, matching the
+      // engine's documented set-semantics contract.
+      if (std::find(right_values.begin(), right_values.end(), mapped) !=
+          right_values.end()) {
+        continue;
+      }
+      EmitSetSemantics(std::move(mapped), left[i], lc, i, &out);
+    }
+    return out;
+  }
+
+  Result<std::vector<OTuple>> ComputeAggregate(const OperatorNode* node) {
+    const OperatorNode* child = node->children[0].get();
+    const std::vector<OTuple>& in = out_.at(child);
+    std::vector<size_t> group_idx;
+    for (const auto& g : node->group_by) {
+      NED_ASSIGN_OR_RETURN(size_t idx, child->output_schema.Resolve(g));
+      group_idx.push_back(idx);
+    }
+    // Group in first-seen order under exact key equality.
+    std::vector<Tuple> keys;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < in.size(); ++i) {
+      std::vector<Value> key_values;
+      for (size_t idx : group_idx) key_values.push_back(in[i].values.at(idx));
+      Tuple key(std::move(key_values));
+      size_t g = 0;
+      for (; g < keys.size(); ++g) {
+        if (keys[g] == key) break;
+      }
+      if (g == keys.size()) {
+        keys.push_back(std::move(key));
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+
+    std::vector<OTuple> out;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      std::vector<const Tuple*> members;
+      for (size_t i : groups[g]) members.push_back(&in[i].values);
+      NED_ASSIGN_OR_RETURN(
+          std::vector<Value> agg_values,
+          AggregateGroup(node->aggregates, members, child->output_schema));
+      std::vector<Value> values = keys[g].values();
+      for (Value& v : agg_values) values.push_back(std::move(v));
+      OTuple o;
+      o.values = Tuple(std::move(values));
+      for (size_t i : groups[g]) {
+        o.preds.emplace_back(child, i);
+        o.lineage = LineageUnion(o.lineage, in[i].lineage);
+      }
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+
+  const QueryTree* tree_;
+  const Database* db_;
+  std::map<const OperatorNode*, std::vector<OTuple>> out_;
+  std::map<std::string, uint32_t> ordinal_of_;
+
+ public:
+  /// One aggregate row's call values for `members` (Def. 2.2-3 semantics:
+  /// NULLs are ignored, empty sum/avg are NULL, min/max compare via the
+  /// coercing order).
+  static Result<std::vector<Value>> AggregateGroup(
+      const std::vector<AggCall>& calls, const std::vector<const Tuple*>& members,
+      const Schema& schema) {
+    std::vector<Value> out;
+    for (const AggCall& call : calls) {
+      NED_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(call.arg));
+      int64_t count = 0;
+      double sum = 0;
+      bool numeric_ok = true;
+      std::optional<Value> min_v, max_v;
+      for (const Tuple* t : members) {
+        const Value& v = t->at(idx);
+        if (v.is_null()) continue;
+        ++count;
+        if (v.is_numeric()) sum += v.NumericValue();
+        else numeric_ok = false;
+        if (!min_v.has_value() ||
+            Value::Satisfies(v, CompareOp::kLt, *min_v)) {
+          min_v = v;
+        }
+        if (!max_v.has_value() ||
+            Value::Satisfies(v, CompareOp::kGt, *max_v)) {
+          max_v = v;
+        }
+      }
+      switch (call.fn) {
+        case AggFn::kCount:
+          out.push_back(Value::Int(count));
+          break;
+        case AggFn::kSum:
+          if (count == 0) out.push_back(Value::Null());
+          else if (!numeric_ok)
+            return Status::TypeError("oracle: sum over non-numeric attribute");
+          else out.push_back(Value::Real(sum));
+          break;
+        case AggFn::kAvg:
+          if (count == 0) out.push_back(Value::Null());
+          else if (!numeric_ok)
+            return Status::TypeError("oracle: avg over non-numeric attribute");
+          else out.push_back(Value::Real(sum / static_cast<double>(count)));
+          break;
+        case AggFn::kMin:
+          out.push_back(min_v.value_or(Value::Null()));
+          break;
+        case AggFn::kMax:
+          out.push_back(max_v.value_or(Value::Null()));
+          break;
+      }
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Unrenaming (Def. 2.7), re-derived
+// ---------------------------------------------------------------------------
+
+void CollectTriples(const OperatorNode* node, std::vector<RenameTriple>* out) {
+  if (node->kind == OpKind::kJoin) {
+    for (const auto& t : node->renaming.triples()) out->push_back(t);
+  }
+  for (const auto& child : node->children) CollectTriples(child.get(), out);
+}
+
+/// Recursively replaces a field on a join-introduced attribute Anew by fields
+/// on both origins A1 and A2. Returns false on contradictory constants.
+bool ExpandField(const Attribute& attr, const CValue& value,
+                 const std::vector<RenameTriple>& triples,
+                 std::vector<std::pair<Attribute, CValue>>* done) {
+  if (!attr.qualified()) {
+    for (const auto& t : triples) {
+      if (t.anew == attr.name) {
+        return ExpandField(t.a1, value, triples, done) &&
+               ExpandField(t.a2, value, triples, done);
+      }
+    }
+  }
+  for (const auto& [a, v] : *done) {
+    if (a == attr) {
+      if (v == value) return true;  // exact duplicate: drop
+      if (!v.is_var && !value.is_var &&
+          !Value::Satisfies(v.constant, CompareOp::kEq, value.constant)) {
+        return false;  // two contradictory constants for one attribute
+      }
+    }
+  }
+  done->emplace_back(attr, value);
+  return true;
+}
+
+/// nu|side^-1 through a union/difference renaming.
+CTuple InverseSide(const CTuple& tc, const Renaming& renaming, int side) {
+  CTuple out;
+  for (const auto& [attr, value] : tc.fields()) {
+    if (!attr.qualified()) {
+      std::optional<RenameTriple> triple = renaming.FindByNewName(attr.name);
+      if (triple.has_value()) {
+        out.AddField(side == 1 ? triple->a1 : triple->a2, value);
+        continue;
+      }
+    }
+    out.AddField(attr, value);
+  }
+  for (const auto& pred : tc.cond()) out.Where(pred);
+  return out;
+}
+
+void OUnrename(const OperatorNode* node, const CTuple& tc,
+               std::vector<CTuple>* out) {
+  if (node->kind == OpKind::kDifference) {
+    // Only the left operand produces output tuples, so the question descends
+    // left; right-operand pickiness surfaces at the difference node itself.
+    OUnrename(node->children[0].get(), InverseSide(tc, node->renaming, 1), out);
+    return;
+  }
+  if (node->kind == OpKind::kUnion) {
+    OUnrename(node->children[0].get(), InverseSide(tc, node->renaming, 1), out);
+    OUnrename(node->children[1].get(), InverseSide(tc, node->renaming, 2), out);
+    return;
+  }
+  std::vector<RenameTriple> triples;
+  CollectTriples(node, &triples);
+  std::vector<std::pair<Attribute, CValue>> done;
+  for (const auto& [attr, value] : tc.fields()) {
+    if (!ExpandField(attr, value, triples, &done)) return;  // contradictory
+  }
+  CTuple expanded;
+  for (auto& [attr, value] : done) expanded.AddField(attr, value);
+  for (const auto& pred : tc.cond()) expanded.Where(pred);
+  out->push_back(std::move(expanded));
+}
+
+// ---------------------------------------------------------------------------
+// Cond-alpha (Defs. 2.9-2.10), re-derived
+// ---------------------------------------------------------------------------
+
+struct OCondAlpha {
+  std::vector<std::pair<Attribute, CValue>> group_fields;
+  std::vector<std::pair<Attribute, CValue>> agg_fields;
+  std::vector<CPred> cond;
+};
+
+bool RowMatchesCondAlpha(const OCondAlpha& ca, const Tuple& row,
+                         const Schema& row_schema) {
+  std::map<std::string, Value> bindings;
+  auto check_field = [&](const Attribute& attr, const CValue& cval) -> bool {
+    std::optional<size_t> idx = row_schema.IndexOf(attr);
+    if (!idx.has_value()) return true;  // attribute projected away: skip
+    const Value& v = row.at(*idx);
+    if (!cval.is_var) {
+      return Value::Satisfies(v, CompareOp::kEq, cval.constant);
+    }
+    auto it = bindings.find(cval.var);
+    if (it != bindings.end()) {
+      return Value::Satisfies(it->second, CompareOp::kEq, v);
+    }
+    bindings.emplace(cval.var, v);
+    return true;
+  };
+  for (const auto& [attr, cval] : ca.group_fields) {
+    if (!check_field(attr, cval)) return false;
+  }
+  for (const auto& [attr, cval] : ca.agg_fields) {
+    if (!check_field(attr, cval)) return false;
+  }
+  return OracleSatisfiable(ca.cond, bindings);
+}
+
+/// Does `tuples` (typed by `schema`) contain / aggregate to a row matching
+/// the aggregation-relevant part of the question?
+Result<bool> OCondAlphaHolds(const OCondAlpha& ca,
+                             const std::vector<OTuple>& tuples,
+                             const Schema& schema,
+                             const OperatorNode* aggregate) {
+  if (ca.agg_fields.empty()) return false;
+
+  bool has_agg_outputs = true;
+  for (const auto& [attr, _] : ca.agg_fields) {
+    if (!schema.Contains(attr)) {
+      has_agg_outputs = false;
+      break;
+    }
+  }
+  if (has_agg_outputs) {
+    for (const OTuple& t : tuples) {
+      if (RowMatchesCondAlpha(ca, t.values, schema)) return true;
+    }
+    return false;
+  }
+
+  // Below the aggregate: apply alpha_{G,F} first, when the schema covers G
+  // and the aggregation arguments.
+  NED_CHECK(aggregate != nullptr);
+  Schema needed;
+  for (const auto& g : aggregate->group_by) {
+    if (!needed.Contains(g)) needed.Add(g);
+  }
+  for (const auto& call : aggregate->aggregates) {
+    if (!needed.Contains(call.arg)) needed.Add(call.arg);
+  }
+  if (!schema.ContainsAll(needed)) return false;
+
+  Schema row_schema;
+  for (const auto& g : aggregate->group_by) row_schema.Add(g);
+  for (const auto& call : aggregate->aggregates) {
+    row_schema.Add(Attribute::Unqualified(call.out_name));
+  }
+  // Group the tuples by G (first-seen order) and aggregate each group.
+  std::vector<size_t> group_idx;
+  for (const auto& g : aggregate->group_by) {
+    NED_ASSIGN_OR_RETURN(size_t idx, schema.Resolve(g));
+    group_idx.push_back(idx);
+  }
+  std::vector<Tuple> keys;
+  std::vector<std::vector<const Tuple*>> groups;
+  for (const OTuple& t : tuples) {
+    std::vector<Value> key_values;
+    for (size_t idx : group_idx) key_values.push_back(t.values.at(idx));
+    Tuple key(std::move(key_values));
+    size_t g = 0;
+    for (; g < keys.size(); ++g) {
+      if (keys[g] == key) break;
+    }
+    if (g == keys.size()) {
+      keys.push_back(std::move(key));
+      groups.emplace_back();
+    }
+    groups[g].push_back(&t.values);
+  }
+  for (size_t g = 0; g < keys.size(); ++g) {
+    NED_ASSIGN_OR_RETURN(
+        std::vector<Value> agg_values,
+        NaiveEval::AggregateGroup(aggregate->aggregates, groups[g], schema));
+    std::vector<Value> values = keys[g].values();
+    for (Value& v : agg_values) values.push_back(std::move(v));
+    if (RowMatchesCondAlpha(ca, Tuple(std::move(values)), row_schema)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility (Def. 2.8), re-derived
+// ---------------------------------------------------------------------------
+
+bool OCompatible(const CTuple& tc, const Tuple& tuple, const Schema& schema) {
+  NED_CHECK(schema.size() > 0);
+  const std::string& alias = schema.at(0).qualifier;
+  bool any_shared = false;
+  std::map<std::string, Value> bindings;
+  for (const auto& [attr, value] : tc.fields()) {
+    if (attr.qualifier != alias) continue;
+    std::optional<size_t> idx = schema.IndexOf(attr);
+    if (!idx.has_value()) continue;
+    any_shared = true;
+    const Value& tuple_value = tuple.at(*idx);
+    if (!value.is_var) {
+      if (!Value::Satisfies(tuple_value, CompareOp::kEq, value.constant)) {
+        return false;
+      }
+    } else {
+      auto it = bindings.find(value.var);
+      if (it != bindings.end()) {
+        if (!Value::Satisfies(it->second, CompareOp::kEq, tuple_value)) {
+          return false;
+        }
+      } else {
+        bindings.emplace(value.var, tuple_value);
+      }
+    }
+  }
+  if (!any_shared) return false;
+  return OracleSatisfiable(tc.cond(), bindings);
+}
+
+// ---------------------------------------------------------------------------
+// Breakpoint view V (Sec. 3.1, 2b), re-derived
+// ---------------------------------------------------------------------------
+
+struct TreeContext {
+  const OperatorNode* aggregate = nullptr;
+  const OperatorNode* breakpoint = nullptr;
+  std::vector<std::string> agg_output_names;
+};
+
+Result<TreeContext> AnalyzeTree(const QueryTree& tree) {
+  TreeContext tc;
+  for (const OperatorNode* node : tree.bottom_up()) {
+    if (node->kind != OpKind::kAggregate) continue;
+    if (tc.aggregate != nullptr) {
+      return Status::Unsupported(
+          "oracle: more than one aggregation is outside the supported class");
+    }
+    tc.aggregate = node;
+    for (const auto& call : node->aggregates) {
+      tc.agg_output_names.push_back(call.out_name);
+    }
+  }
+  if (tc.aggregate == nullptr) return tc;
+  Schema needed;
+  for (const auto& g : tc.aggregate->group_by) {
+    if (!needed.Contains(g)) needed.Add(g);
+  }
+  for (const auto& call : tc.aggregate->aggregates) {
+    if (!needed.Contains(call.arg)) needed.Add(call.arg);
+  }
+  for (const OperatorNode* node : tree.bottom_up()) {
+    if (!OperatorNode::IsInSubtree(tc.aggregate, node)) continue;
+    if (node->output_schema.ContainsAll(needed)) {
+      tc.breakpoint = node;
+      return tc;
+    }
+  }
+  return Status::Internal("oracle: no subquery covers the aggregation type");
+}
+
+// ---------------------------------------------------------------------------
+// Per-c-tuple answer derivation (Defs. 2.11-2.14)
+// ---------------------------------------------------------------------------
+
+Result<OracleCTupleResult> ExplainOneCTuple(const QueryTree& tree,
+                                            const NaiveEval& eval,
+                                            const TreeContext& tctx,
+                                            const CTuple& tc) {
+  OracleCTupleResult result;
+  result.unrenamed = tc;
+
+  // -- Dir / InDir (Def. 2.8).
+  OCondAlpha ca;
+  std::set<std::string> referenced;
+  for (const auto& [attr, value] : tc.fields()) {
+    if (attr.qualified()) {
+      referenced.insert(attr.qualifier);
+      ca.group_fields.emplace_back(attr, value);
+      continue;
+    }
+    if (std::find(tctx.agg_output_names.begin(), tctx.agg_output_names.end(),
+                  attr.name) == tctx.agg_output_names.end()) {
+      return Status::InvalidArgument(
+          "oracle: unrenamed c-tuple field is neither qualified nor an "
+          "aggregate output: " +
+          attr.FullName());
+    }
+    ca.agg_fields.emplace_back(attr, value);
+  }
+  ca.cond = tc.cond();
+
+  std::vector<const OperatorNode*> indir_scans;
+  for (const OperatorNode* scan : tree.scans()) {
+    const std::vector<OTuple>& base = eval.Output(scan);
+    if (referenced.count(scan->alias) == 0) {
+      indir_scans.push_back(scan);
+      for (const OTuple& t : base) result.indir.insert(*t.lineage.begin());
+      continue;
+    }
+    for (const OTuple& t : base) {
+      if (OCompatible(tc, t.values, scan->output_schema)) {
+        result.dir.insert(*t.lineage.begin());
+      }
+    }
+  }
+  std::set<TupleId> all = result.dir;
+  all.insert(result.indir.begin(), result.indir.end());
+
+  // -- Valid successors (Notation 2.1): per node, the outputs whose lineage
+  //    stays inside D, touches Dir, and that descend from a valid input.
+  std::map<const OperatorNode*, std::vector<char>> valid;
+  auto is_subset = [](const std::set<TupleId>& sub,
+                      const std::set<TupleId>& super) {
+    return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+  };
+  auto dir_part = [&](const std::set<TupleId>& lineage) {
+    std::set<TupleId> out;
+    std::set_intersection(lineage.begin(), lineage.end(), result.dir.begin(),
+                          result.dir.end(), std::inserter(out, out.begin()));
+    return out;
+  };
+  for (const OperatorNode* m : tree.bottom_up()) {
+    const std::vector<OTuple>& out = eval.Output(m);
+    std::vector<char>& flags = valid[m];
+    flags.assign(out.size(), 0);
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (m->is_leaf()) {
+        flags[i] = result.dir.count(*out[i].lineage.begin()) > 0;
+        continue;
+      }
+      if (!is_subset(out[i].lineage, all)) continue;
+      if (dir_part(out[i].lineage).empty()) continue;
+      for (const auto& [child, idx] : out[i].preds) {
+        if (valid.at(child)[idx] != 0) {
+          flags[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  // -- Detailed answer (Defs. 2.11-2.12): a subquery is picky w.r.t. t_I in
+  //    Dir iff some valid input successor of t_I reaches it and no valid
+  //    output successor leaves it.
+  for (const OperatorNode* m : tree.bottom_up()) {
+    if (m->is_leaf()) continue;
+    std::set<TupleId> in_dirs;  // Dir tuples with a valid successor in m.Input
+    for (const auto& child : m->children) {
+      const std::vector<OTuple>& child_out = eval.Output(child.get());
+      const std::vector<char>& child_valid = valid.at(child.get());
+      for (size_t i = 0; i < child_out.size(); ++i) {
+        if (child_valid[i] == 0) continue;
+        std::set<TupleId> dirs = dir_part(child_out[i].lineage);
+        in_dirs.insert(dirs.begin(), dirs.end());
+      }
+    }
+    std::set<TupleId> out_dirs;  // Dir tuples still alive in m.Output
+    const std::vector<OTuple>& m_out = eval.Output(m);
+    const std::vector<char>& m_valid = valid.at(m);
+    for (size_t i = 0; i < m_out.size(); ++i) {
+      if (m_valid[i] == 0) continue;
+      std::set<TupleId> dirs = dir_part(m_out[i].lineage);
+      out_dirs.insert(dirs.begin(), dirs.end());
+    }
+    if (m->parent == nullptr) {
+      size_t survivors = 0;
+      for (char f : m_valid) survivors += (f != 0);
+      result.survivors_at_root = survivors;
+    }
+
+    std::set<TupleId> pairs;
+    std::set_difference(in_dirs.begin(), in_dirs.end(), out_dirs.begin(),
+                        out_dirs.end(), std::inserter(pairs, pairs.begin()));
+
+    bool above_v = tctx.breakpoint != nullptr && m != tctx.breakpoint &&
+                   OperatorNode::IsInSubtree(m, tctx.breakpoint);
+    if (!above_v) {
+      for (TupleId t : pairs) result.answer.detailed.emplace(t, m);
+    } else {
+      // Above the breakpoint the aggregation condition governs (Alg. 3 lines
+      // 9-12): a satisfied-to-violated flip marks the subquery, with the
+      // paper's (⊥, Q') entry when no concrete Dir pair witnesses it.
+      bool in_ok = false;
+      for (const auto& child : m->children) {
+        NED_ASSIGN_OR_RETURN(
+            bool ok, OCondAlphaHolds(ca, eval.Output(child.get()),
+                                     child->output_schema, tctx.aggregate));
+        if (ok) {
+          in_ok = true;
+          break;
+        }
+      }
+      NED_ASSIGN_OR_RETURN(
+          bool out_ok,
+          OCondAlphaHolds(ca, m_out, m->output_schema, tctx.aggregate));
+      for (TupleId t : pairs) result.answer.detailed.emplace(t, m);
+      if (in_ok && !out_ok && pairs.empty()) {
+        result.answer.detailed.emplace(kInvalidTupleId, m);
+      }
+    }
+  }
+
+  // -- Condensed answer (Def. 2.13): the distinct picky subqueries.
+  for (const auto& [_, m] : result.answer.detailed) {
+    result.answer.condensed.insert(m);
+  }
+
+  // -- Secondary answer (Def. 2.14): for each indirectly responsible
+  //    relation, the lowest subquery where its data disappears.
+  for (const OperatorNode* scan : indir_scans) {
+    if (eval.Output(scan).empty()) continue;  // no d in I|S to be picky about
+    uint32_t ordinal = eval.OrdinalOf(scan->alias);
+    const OperatorNode* prev = scan;
+    for (const OperatorNode* m = scan->parent; m != nullptr;
+         prev = m, m = m->parent) {
+      // A difference's right operand is *meant* to vanish there.
+      if (m->kind == OpKind::kDifference && m->children[1].get() == prev) {
+        break;
+      }
+      bool has_successor = false;
+      for (const OTuple& o : eval.Output(m)) {
+        for (TupleId id : o.lineage) {
+          if (TupleIdAlias(id) == ordinal) {
+            has_successor = true;
+            break;
+          }
+        }
+        if (has_successor) break;
+      }
+      if (!has_successor) {
+        result.answer.secondary.insert(m);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Condition satisfiability by enumeration
+// ---------------------------------------------------------------------------
+
+bool OracleSatisfiable(const std::vector<CPred>& cond,
+                       const std::map<std::string, Value>& bindings) {
+  if (cond.empty()) return true;
+
+  // Free variables, in first-mention order.
+  std::vector<std::string> free;
+  auto note_var = [&](const std::string& v) {
+    if (bindings.count(v) > 0) return;
+    if (std::find(free.begin(), free.end(), v) == free.end()) {
+      free.push_back(v);
+    }
+  };
+  for (const CPred& p : cond) {
+    note_var(p.lhs_var);
+    if (p.rhs_is_var) note_var(p.rhs_var);
+  }
+
+  auto holds_under = [&](const std::map<std::string, Value>& env) {
+    for (const CPred& p : cond) {
+      auto l = env.find(p.lhs_var);
+      if (l == env.end()) return false;
+      const Value& rhs =
+          p.rhs_is_var ? env.at(p.rhs_var) : p.rhs_const;
+      if (p.rhs_is_var && env.find(p.rhs_var) == env.end()) return false;
+      if (!Value::Satisfies(l->second, p.op, rhs)) return false;
+    }
+    return true;
+  };
+  if (free.empty()) return holds_under(bindings);
+
+  // Candidate values: every mentioned constant/bound value, plus offsets and
+  // pairwise midpoints for numerics (the dense-domain witnesses an analytic
+  // solver would find), plus string neighbours, plus small integer defaults
+  // so constant-free chains like x < y < z have witnesses.
+  std::vector<Value> candidates;
+  std::vector<double> numerics;
+  auto add_candidate = [&](Value v) {
+    for (const Value& c : candidates) {
+      if (c == v) return;
+    }
+    candidates.push_back(std::move(v));
+  };
+  auto add_base = [&](const Value& v) {
+    if (v.is_null()) return;
+    add_candidate(v);
+    if (v.is_numeric()) {
+      double x = v.NumericValue();
+      numerics.push_back(x);
+      add_candidate(Value::Real(x - 1));
+      add_candidate(Value::Real(x - 0.5));
+      add_candidate(Value::Real(x + 0.5));
+      add_candidate(Value::Real(x + 1));
+    } else if (v.type() == ValueType::kString) {
+      add_candidate(Value::Str(""));
+      add_candidate(Value::Str(v.as_string() + "!"));
+    }
+  };
+  for (const CPred& p : cond) {
+    if (!p.rhs_is_var) add_base(p.rhs_const);
+  }
+  for (const auto& [_, v] : bindings) add_base(v);
+  for (size_t i = 0; i < numerics.size(); ++i) {
+    for (size_t j = i + 1; j < numerics.size(); ++j) {
+      add_candidate(Value::Real((numerics[i] + numerics[j]) / 2));
+    }
+  }
+  for (int64_t d = -2; d <= 2; ++d) add_candidate(Value::Int(d));
+
+  // Depth-first enumeration over the (small) candidate grid.
+  std::map<std::string, Value> env = bindings;
+  std::function<bool(size_t)> assign = [&](size_t k) -> bool {
+    if (k == free.size()) return holds_under(env);
+    for (const Value& v : candidates) {
+      env[free[k]] = v;
+      if (assign(k + 1)) return true;
+    }
+    env.erase(free[k]);
+    return false;
+  };
+  return assign(0);
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+Result<OracleResult> OracleExplain(const QueryTree& tree, const Database& db,
+                                   const WhyNotQuestion& question) {
+  NED_ASSIGN_OR_RETURN(TreeContext tctx, AnalyzeTree(tree));
+
+  NaiveEval eval(&tree, &db);
+  NED_RETURN_NOT_OK(eval.Run());
+
+  OracleResult result;
+  for (const CTuple& tc : question.ctuples()) {
+    OUnrename(tree.root(), tc, &result.unrenamed);
+  }
+  for (const CTuple& tc : result.unrenamed) {
+    NED_ASSIGN_OR_RETURN(OracleCTupleResult part,
+                         ExplainOneCTuple(tree, eval, tctx, tc));
+    result.answer.detailed.insert(part.answer.detailed.begin(),
+                                  part.answer.detailed.end());
+    result.answer.condensed.insert(part.answer.condensed.begin(),
+                                   part.answer.condensed.end());
+    result.answer.secondary.insert(part.answer.secondary.begin(),
+                                   part.answer.secondary.end());
+    result.per_ctuple.push_back(std::move(part));
+  }
+  return result;
+}
+
+}  // namespace ned

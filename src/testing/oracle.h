@@ -1,0 +1,81 @@
+/// \file oracle.h
+/// \brief Brute-force reference oracle for Why-Not answers (Defs. 2.7-2.14).
+///
+/// The oracle recomputes detailed, condensed and secondary Why-Not answers
+/// *directly from the paper's definitions*: it naively re-evaluates every
+/// subquery (nested-loop joins, linear-scan set semantics), re-derives
+/// unrenaming, compatibility and valid-successor sets from first principles,
+/// and never early-terminates. It exists purely to differentially test the
+/// production engine (`src/core`), so it deliberately shares **no algorithmic
+/// code** with `src/core`, `src/whynot`, `src/exec` or `src/expr`'s
+/// satisfiability solver -- only the relational/value layer and the query
+/// *representation* (algebra nodes, c-tuple types), which form the common
+/// vocabulary both sides must speak. Even selection predicates and condition
+/// satisfiability are re-interpreted here with an independent evaluator.
+///
+/// Performance is a non-goal: everything is O(n^2)-ish per operator, which is
+/// fine for the small randomized instances the differential harness feeds it.
+
+#ifndef NED_TESTING_ORACLE_H_
+#define NED_TESTING_ORACLE_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/query_tree.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "whynot/ctuple.h"
+
+namespace ned {
+
+/// The three answer granularities as plain ordered sets, the most convenient
+/// form for differential comparison. A detailed pair with
+/// `first == kInvalidTupleId` is the paper's (⊥, Q') entry.
+struct OracleAnswer {
+  std::set<std::pair<TupleId, const OperatorNode*>> detailed;
+  std::set<const OperatorNode*> condensed;
+  std::set<const OperatorNode*> secondary;
+
+  bool empty() const {
+    return detailed.empty() && condensed.empty() && secondary.empty();
+  }
+};
+
+/// Oracle outcome for one unrenamed c-tuple.
+struct OracleCTupleResult {
+  CTuple unrenamed;
+  std::set<TupleId> dir;    ///< Dir_tc (Def. 2.8)
+  std::set<TupleId> indir;  ///< InDir_tc
+  size_t survivors_at_root = 0;
+  OracleAnswer answer;
+};
+
+/// Oracle outcome for a whole question (set union over c-tuples, Sec. 2.5).
+struct OracleResult {
+  OracleAnswer answer;
+  std::vector<OracleCTupleResult> per_ctuple;
+  /// The unrenamed predicate, as the oracle derived it (Def. 2.7).
+  std::vector<CTuple> unrenamed;
+};
+
+/// Runs the reference semantics for `question` over (tree, db). Mirrors the
+/// engine's documented extensions where the paper is silent (set difference,
+/// blocked recordings above the breakpoint view V); both are called out in
+/// docs/TESTING.md.
+Result<OracleResult> OracleExplain(const QueryTree& tree, const Database& db,
+                                   const WhyNotQuestion& question);
+
+/// Independent satisfiability check for c-tuple conditions: enumerates
+/// candidate valuations over the constants mentioned (plus offsets and
+/// numeric midpoints, covering the dense-domain semantics the engine's
+/// constraint solver implements analytically). Exposed for direct
+/// differential testing against expr/satisfiability.
+bool OracleSatisfiable(const std::vector<CPred>& cond,
+                       const std::map<std::string, Value>& bindings);
+
+}  // namespace ned
+
+#endif  // NED_TESTING_ORACLE_H_

@@ -1,0 +1,530 @@
+#include "testing/workload.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "expr/expression.h"
+
+namespace ned {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instance synthesis
+// ---------------------------------------------------------------------------
+
+/// Returns Int in [0, domain], or NULL with probability `null_prob`.
+Value MaybeNullInt(Rng& rng, int64_t domain, double null_prob) {
+  if (null_prob > 0 && rng.Chance(null_prob)) return Value::Null();
+  return Value::Int(rng.UniformInt(0, domain));
+}
+
+Value RandomStr(Rng& rng, double null_prob) {
+  if (null_prob > 0 && rng.Chance(null_prob)) return Value::Null();
+  static const std::vector<std::string> kStrings = {"a", "b", "c", "d", "e"};
+  return Value::Str(rng.Pick(kStrings));
+}
+
+/// Shared knobs for one workload's instance.
+struct GenParams {
+  int64_t rows = 8;
+  int64_t domain = 4;     ///< join-key / value domain [0, domain]
+  double null_prob = 0;   ///< per-cell NULL probability on key/value columns
+};
+
+GenParams DrawParams(Rng& rng) {
+  GenParams p;
+  p.rows = rng.UniformInt(3, 14);
+  p.domain = rng.UniformInt(2, 6);
+  if (rng.Chance(0.35)) p.null_prob = 0.15;  // NULL-bearing instances
+  return p;
+}
+
+CompareOp PickCmp(Rng& rng) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0: return CompareOp::kGt;
+    case 1: return CompareOp::kLe;
+    case 2: return CompareOp::kEq;
+    default: return CompareOp::kNe;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Question synthesis
+// ---------------------------------------------------------------------------
+
+/// A candidate question field: an attribute of the query's target type plus
+/// how to draw constants for it.
+struct QField {
+  Attribute attr;
+  bool is_string = false;
+  int64_t domain = 4;
+};
+
+/// Builds a 1-2 c-tuple question over `fields`, mixing constants (sometimes
+/// deliberately out of domain, so the data is genuinely missing), variables
+/// with HAVING-style conditions, and occasional variable-variable conditions.
+WhyNotQuestion MakeQuestion(Rng& rng, const std::vector<QField>& fields) {
+  int n_ctuples = rng.Chance(0.25) ? 2 : 1;
+  WhyNotQuestion q;
+  for (int c = 0; c < n_ctuples; ++c) {
+    CTuple tc;
+    std::vector<std::string> vars;
+    int var_counter = 0;
+    for (const QField& f : fields) {
+      // Keep most fields, always keeping at least the first.
+      if (!tc.fields().empty() && rng.Chance(0.35)) continue;
+      if (f.is_string) {
+        tc.AddField(f.attr, CValue::Const(RandomStr(rng, 0)));
+        continue;
+      }
+      if (rng.Chance(0.35)) {
+        std::string var = "x" + std::to_string(var_counter++);
+        tc.AddField(f.attr, CValue::Var(var));
+        vars.push_back(var);
+        tc.Where(var, PickCmp(rng),
+                 Value::Int(rng.UniformInt(0, f.domain + 1)));
+      } else {
+        // Out-of-domain constants make the question's data certainly absent.
+        int64_t hi = rng.Chance(0.2) ? f.domain + 5 : f.domain;
+        tc.AddField(f.attr, CValue::Const(Value::Int(rng.UniformInt(0, hi))));
+      }
+    }
+    if (vars.size() >= 2 && rng.Chance(0.3)) {
+      tc.Where(CPred::VsVar(vars[0], PickCmp(rng), vars[1]));
+    }
+    q.AddCTuple(std::move(tc));
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Shapes
+// ---------------------------------------------------------------------------
+
+/// Chain: T0 -(k1)- T1 -(k2)- ... with selections on v; T0 also carries a
+/// string column s.
+void MakeChain(Rng& rng, const GenParams& p, int n_relations, GenWorkload* w) {
+  QueryBlock block;
+  for (int i = 0; i < n_relations; ++i) {
+    std::string name = "T" + std::to_string(i);
+    std::vector<Attribute> attrs = {{name, "id"},
+                                    {name, "k" + std::to_string(i)},
+                                    {name, "k" + std::to_string(i + 1)},
+                                    {name, "v"}};
+    if (i == 0) attrs.push_back({name, "s"});
+    Relation rel(name, Schema(attrs));
+    for (int64_t r = 0; r < p.rows; ++r) {
+      std::vector<Value> row = {Value::Int(r),
+                                MaybeNullInt(rng, p.domain, p.null_prob),
+                                MaybeNullInt(rng, p.domain, p.null_prob),
+                                MaybeNullInt(rng, 5, p.null_prob)};
+      if (i == 0) row.push_back(RandomStr(rng, p.null_prob));
+      rel.AddRow(std::move(row));
+    }
+    w->relations.push_back(std::move(rel));
+    block.tables.push_back({name, name});
+    if (i > 0) {
+      std::string prev = "T" + std::to_string(i - 1);
+      std::string key = "k" + std::to_string(i);
+      block.joins.push_back(
+          {Attribute(prev, key), Attribute(name, key), key + "j"});
+    }
+    if (rng.Chance(0.5)) {
+      block.selections.push_back(
+          Cmp(Col(name, "v"), PickCmp(rng), Lit(rng.UniformInt(0, 4))));
+    }
+  }
+  std::string last = "T" + std::to_string(n_relations - 1);
+  block.projection = {Attribute("T0", "v"), Attribute(last, "id")};
+  std::vector<QField> qfields = {{Attribute("T0", "v"), false, 5},
+                                 {Attribute(last, "id"), false, p.rows - 1}};
+  if (rng.Chance(0.4)) {
+    block.projection.push_back(Attribute("T0", "s"));
+    qfields.push_back({Attribute("T0", "s"), true, 0});
+  }
+  w->spec.blocks.push_back(std::move(block));
+  w->question = MakeQuestion(rng, qfields);
+}
+
+/// Star: center C joined to two satellites on distinct key columns.
+void MakeStar(Rng& rng, const GenParams& p, GenWorkload* w) {
+  Relation center("C", Schema({{"C", "id"}, {"C", "a1"}, {"C", "a2"},
+                               {"C", "v"}}));
+  for (int64_t r = 0; r < p.rows; ++r) {
+    center.AddRow({Value::Int(r), MaybeNullInt(rng, p.domain, p.null_prob),
+                   MaybeNullInt(rng, p.domain, p.null_prob),
+                   MaybeNullInt(rng, 5, p.null_prob)});
+  }
+  w->relations.push_back(std::move(center));
+  QueryBlock block;
+  block.tables.push_back({"C", "C"});
+  for (int i = 1; i <= 2; ++i) {
+    std::string name = "S" + std::to_string(i);
+    Relation sat(name, Schema({{name, "id"}, {name, "b"}, {name, "v"}}));
+    for (int64_t r = 0; r < p.rows; ++r) {
+      sat.AddRow({Value::Int(r), MaybeNullInt(rng, p.domain, p.null_prob),
+                  MaybeNullInt(rng, 5, p.null_prob)});
+    }
+    w->relations.push_back(std::move(sat));
+    block.tables.push_back({name, name});
+    block.joins.push_back({Attribute("C", "a" + std::to_string(i)),
+                           Attribute(name, "b"), "j" + std::to_string(i)});
+    if (rng.Chance(0.5)) {
+      block.selections.push_back(
+          Cmp(Col(name, "v"), PickCmp(rng), Lit(rng.UniformInt(0, 4))));
+    }
+  }
+  block.projection = {Attribute("C", "v"), Attribute("S1", "v"),
+                      Attribute("S2", "v")};
+  w->spec.blocks.push_back(std::move(block));
+  w->question = MakeQuestion(rng, {{Attribute("C", "v"), false, 5},
+                                   {Attribute("S1", "v"), false, 5},
+                                   {Attribute("S2", "v"), false, 5}});
+}
+
+/// Self-join: T as A joined with T as B on A.ref = B.id. The same stored row
+/// appears through both aliases -- the Table 5 "alias trap" pattern the
+/// baseline gets wrong.
+void MakeSelfJoin(Rng& rng, const GenParams& p, bool plant_trap,
+                  GenWorkload* w) {
+  Relation rel("T", Schema({{"T", "id"}, {"T", "ref"}, {"T", "v"}}));
+  for (int64_t r = 0; r < p.rows; ++r) {
+    rel.AddRow({Value::Int(r),
+                Value::Int(rng.UniformInt(0, p.rows - 1)),
+                MaybeNullInt(rng, 5, p.null_prob)});
+  }
+  w->relations.push_back(std::move(rel));
+  QueryBlock block;
+  block.tables.push_back({"A", "T"});
+  block.tables.push_back({"B", "T"});
+  block.joins.push_back({Attribute("A", "ref"), Attribute("B", "id"), "r"});
+  if (plant_trap) {
+    // Selection on the *other* alias than the one the question constrains.
+    block.selections.push_back(
+        Cmp(Col("B", "v"), CompareOp::kGt, Lit(int64_t{4})));
+  } else if (rng.Chance(0.6)) {
+    block.selections.push_back(
+        Cmp(Col(rng.Chance(0.5) ? "A" : "B", "v"), PickCmp(rng),
+            Lit(rng.UniformInt(0, 4))));
+  }
+  block.projection = {Attribute("A", "v"), Attribute("B", "v")};
+  w->spec.blocks.push_back(std::move(block));
+  if (plant_trap) {
+    CTuple tc;
+    tc.Add("A.v", Value::Int(rng.UniformInt(0, 5)));
+    w->question = WhyNotQuestion(std::move(tc));
+  } else {
+    w->question = MakeQuestion(rng, {{Attribute("A", "v"), false, 5},
+                                     {Attribute("B", "v"), false, 5}});
+  }
+}
+
+/// Union / difference of two single-table blocks with aligned types.
+void MakeSetOp(Rng& rng, const GenParams& p, SetOpKind op, GenWorkload* w) {
+  for (int i = 0; i < 2; ++i) {
+    std::string name = "U" + std::to_string(i);
+    Relation rel(name, Schema({{name, "id"}, {name, "v"}}));
+    // Overlapping small domains so difference/union dedup actually fires.
+    for (int64_t r = 0; r < p.rows; ++r) {
+      rel.AddRow({Value::Int(rng.UniformInt(0, p.domain)),
+                  MaybeNullInt(rng, p.domain, p.null_prob)});
+    }
+    w->relations.push_back(std::move(rel));
+    QueryBlock block;
+    block.tables.push_back({name, name});
+    if (rng.Chance(0.5)) {
+      block.selections.push_back(
+          Cmp(Col(name, "v"), PickCmp(rng), Lit(rng.UniformInt(0, 4))));
+    }
+    block.projection = {Attribute(name, "id"), Attribute(name, "v")};
+    w->spec.blocks.push_back(std::move(block));
+  }
+  w->spec.set_ops.push_back(op);
+  // The set operation's output columns carry the first block's unqualified
+  // names, so the question uses unqualified fields.
+  w->question = MakeQuestion(
+      rng, {{Attribute::Unqualified("id"), false, p.domain},
+            {Attribute::Unqualified("v"), false, p.domain}});
+}
+
+/// Chain + GROUP BY with COUNT/SUM/MIN/MAX and a HAVING-style question on
+/// the aggregate output.
+void MakeAggregate(Rng& rng, const GenParams& p, GenWorkload* w) {
+  int n_relations = static_cast<int>(rng.UniformInt(1, 2));
+  QueryBlock block;
+  for (int i = 0; i < n_relations; ++i) {
+    std::string name = "T" + std::to_string(i);
+    Relation rel(name, Schema({{name, "id"},
+                               {name, "k" + std::to_string(i)},
+                               {name, "k" + std::to_string(i + 1)},
+                               {name, "v"}}));
+    for (int64_t r = 0; r < p.rows; ++r) {
+      rel.AddRow({Value::Int(r), MaybeNullInt(rng, p.domain, p.null_prob),
+                  MaybeNullInt(rng, p.domain, p.null_prob),
+                  MaybeNullInt(rng, 5, p.null_prob)});
+    }
+    w->relations.push_back(std::move(rel));
+    block.tables.push_back({name, name});
+    if (i > 0) {
+      std::string prev = "T" + std::to_string(i - 1);
+      std::string key = "k" + std::to_string(i);
+      block.joins.push_back(
+          {Attribute(prev, key), Attribute(name, key), key + "j"});
+    }
+    if (rng.Chance(0.4)) {
+      block.selections.push_back(
+          Cmp(Col(name, "v"), PickCmp(rng), Lit(rng.UniformInt(0, 4))));
+    }
+  }
+  std::string last = "T" + std::to_string(n_relations - 1);
+  AggSpec agg;
+  agg.group_by = {Attribute("T0", "v")};
+  agg.calls.push_back({AggFn::kCount, Attribute(last, "id"), "cnt"});
+  std::vector<QField> qfields = {{Attribute("T0", "v"), false, 5},
+                                 {Attribute::Unqualified("cnt"), false, 4}};
+  if (rng.Chance(0.4)) {
+    AggFn fn;
+    std::string out;
+    switch (rng.UniformInt(0, 2)) {
+      case 0: fn = AggFn::kSum; out = "sm"; break;
+      case 1: fn = AggFn::kMin; out = "mn"; break;
+      default: fn = AggFn::kMax; out = "mx"; break;
+    }
+    agg.calls.push_back({fn, Attribute(last, "v"), out});
+    qfields.push_back({Attribute::Unqualified(out), false, 5});
+  }
+  block.projection = {Attribute("T0", "v")};
+  for (const AggCall& call : agg.calls) {
+    block.projection.push_back(Attribute::Unqualified(call.out_name));
+  }
+  block.agg = std::move(agg);
+  w->spec.blocks.push_back(std::move(block));
+  w->question = MakeQuestion(rng, qfields);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+size_t GenWorkload::TotalRows() const {
+  size_t total = 0;
+  for (const Relation& r : relations) total += r.size();
+  return total;
+}
+
+Result<CompiledWorkload> CompileWorkload(const GenWorkload& w) {
+  CompiledWorkload out;
+  out.db = std::make_shared<Database>();
+  for (const Relation& rel : w.relations) {
+    NED_RETURN_NOT_OK(out.db->AddRelation(rel));
+  }
+  NED_ASSIGN_OR_RETURN(QueryTree tree, Canonicalize(w.spec, *out.db));
+  out.tree = std::make_shared<QueryTree>(std::move(tree));
+  return out;
+}
+
+GenWorkload MakeDiffWorkload(uint64_t seed) {
+  Rng rng(seed);
+  GenWorkload w;
+  w.seed = seed;
+  GenParams p = DrawParams(rng);
+
+  int shape = static_cast<int>(rng.UniformInt(0, 9));
+  switch (shape) {
+    case 0:
+    case 1:
+    case 2:
+      w.scenario = "chain";
+      MakeChain(rng, p, static_cast<int>(rng.UniformInt(1, 3)), &w);
+      break;
+    case 3:
+      w.scenario = "star";
+      MakeStar(rng, p, &w);
+      break;
+    case 4:
+      w.scenario = "self-join";
+      MakeSelfJoin(rng, p, /*plant_trap=*/false, &w);
+      break;
+    case 5:
+      w.scenario = "union";
+      MakeSetOp(rng, p, SetOpKind::kUnion, &w);
+      break;
+    case 6:
+      w.scenario = "difference";
+      MakeSetOp(rng, p, SetOpKind::kDifference, &w);
+      break;
+    case 7:
+    case 8:
+      w.scenario = "aggregate";
+      MakeAggregate(rng, p, &w);
+      break;
+    default: {
+      // Planted Table-5 patterns: guaranteed-picky scenarios.
+      switch (rng.UniformInt(0, 2)) {
+        case 0: {
+          // An emptying selection right above a scan (Crime5's empty m4).
+          w.scenario = "planted:empty-selection";
+          MakeChain(rng, p, 2, &w);
+          w.spec.blocks[0].selections.push_back(
+              Cmp(Col("T0", "v"), CompareOp::kGt, Lit(p.domain + 10)));
+          break;
+        }
+        case 1:
+          // Self-join alias trap (Crime6/7).
+          w.scenario = "planted:alias-trap";
+          MakeSelfJoin(rng, p, /*plant_trap=*/true, &w);
+          break;
+        default: {
+          // An empty relation: every join over it is picky, and as an InDir
+          // relation it never yields a secondary answer (no d in I|S).
+          w.scenario = "planted:empty-relation";
+          MakeChain(rng, p, 2, &w);
+          Relation& victim = w.relations[rng.Chance(0.5) ? 0 : 1];
+          victim = Relation(victim.name(), victim.schema());
+          break;
+        }
+      }
+    }
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SQL printing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string SqlLiteral(const Value& v, bool* ok) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return std::to_string(v.as_int());
+    case ValueType::kDouble:
+      return std::to_string(v.as_double());
+    case ValueType::kString:
+      if (v.as_string().find('\'') != std::string::npos) *ok = false;
+      return "'" + v.as_string() + "'";
+    case ValueType::kNull:
+      *ok = false;  // the grammar has no NULL literal
+      return "";
+  }
+  *ok = false;
+  return "";
+}
+
+std::string SqlAttr(const Attribute& a) {
+  return a.qualified() ? a.qualifier + "." + a.name : a.name;
+}
+
+const char* SqlAggFn(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "SUM";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+/// Prints one operand of a printable selection.
+std::string SqlOperandOf(const Expression* e, bool* ok) {
+  if (auto* col = dynamic_cast<const ColumnRef*>(e)) {
+    return SqlAttr(col->attribute());
+  }
+  if (auto* lit = dynamic_cast<const Literal*>(e)) {
+    return SqlLiteral(lit->value(), ok);
+  }
+  *ok = false;
+  return "";
+}
+
+std::string SqlBlock(const QueryBlock& block, bool* ok) {
+  std::vector<std::string> items;
+  for (const Attribute& a : block.projection) {
+    if (a.qualified()) {
+      items.push_back(SqlAttr(a));
+      continue;
+    }
+    // An unqualified projection entry must be an aggregate output to print.
+    bool found = false;
+    if (block.agg.has_value()) {
+      for (const AggCall& call : block.agg->calls) {
+        if (call.out_name == a.name) {
+          items.push_back(StrCat(SqlAggFn(call.fn), "(", SqlAttr(call.arg),
+                                 ") AS ", call.out_name));
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      *ok = false;
+      return "";
+    }
+  }
+  if (items.empty()) {
+    *ok = false;
+    return "";
+  }
+  std::vector<std::string> tables;
+  for (const TableRef& t : block.tables) {
+    tables.push_back(t.alias == t.table ? t.table : t.table + " " + t.alias);
+  }
+  std::string sql = "SELECT " + Join(items, ", ") + " FROM " +
+                    Join(tables, ", ");
+  std::vector<std::string> conds;
+  for (const JoinSpec& j : block.joins) {
+    conds.push_back(SqlAttr(j.left) + " = " + SqlAttr(j.right));
+  }
+  for (const ExprPtr& sel : block.selections) {
+    auto* cmp = dynamic_cast<const Comparison*>(sel.get());
+    if (cmp == nullptr) {
+      *ok = false;
+      return "";
+    }
+    std::string l = SqlOperandOf(cmp->left().get(), ok);
+    std::string r = SqlOperandOf(cmp->right().get(), ok);
+    conds.push_back(l + " " + CompareOpSymbol(cmp->op()) + " " + r);
+  }
+  if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+  if (block.agg.has_value()) {
+    std::vector<std::string> groups;
+    for (const Attribute& g : block.agg->group_by) groups.push_back(SqlAttr(g));
+    if (!groups.empty()) sql += " GROUP BY " + Join(groups, ", ");
+  }
+  return sql;
+}
+
+}  // namespace
+
+std::string SpecToSql(const QuerySpec& spec) {
+  bool ok = true;
+  std::string sql;
+  for (size_t i = 0; i < spec.blocks.size(); ++i) {
+    if (i > 0) {
+      SetOpKind op =
+          i - 1 < spec.set_ops.size() ? spec.set_ops[i - 1] : SetOpKind::kUnion;
+      sql += op == SetOpKind::kDifference ? " EXCEPT " : " UNION ";
+    }
+    sql += SqlBlock(spec.blocks[i], &ok);
+    if (!ok) return "";
+  }
+  return sql;
+}
+
+std::string DescribeWorkload(const GenWorkload& w) {
+  std::string out = StrCat("seed: ", w.seed, "\nscenario: ", w.scenario, "\n");
+  std::string sql = SpecToSql(w.spec);
+  out += "sql: " + (sql.empty() ? std::string("<unprintable>") : sql) + "\n";
+  out += "question: " + w.question.ToString() + "\n";
+  for (const Relation& r : w.relations) {
+    out += r.ToString(/*max_rows=*/100) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ned

@@ -1,0 +1,69 @@
+/// \file workload.h
+/// \brief Seeded random Why-Not workloads for differential testing.
+///
+/// Extends the chain-query generator of tests/property_test.cpp to the full
+/// supported query class: chains, stars, self-joins, unions, differences and
+/// aggregation with HAVING-style conditions on aggregate outputs, over
+/// instances that may carry NULLs, strings and empty relations. A slice of
+/// the seed space plants "known-picky" scenarios mirroring the Table 5 use
+/// case patterns (emptying selections, self-join alias traps, partial piece
+/// presence), so the differential harness always exercises non-trivial
+/// answers, not just agreeing empties.
+///
+/// Workloads are value types (relations + QuerySpec + question) so the
+/// shrinker can mutate them and recompile; `SpecToSql` prints the query in
+/// the SQL front-end's grammar for round-trip tests and repros.
+
+#ifndef NED_TESTING_WORKLOAD_H_
+#define NED_TESTING_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/query_tree.h"
+#include "canonical/canonicalizer.h"
+#include "canonical/query_spec.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "whynot/ctuple.h"
+
+namespace ned {
+
+/// A generated workload in mutable, serialisable form.
+struct GenWorkload {
+  uint64_t seed = 0;
+  /// Shape label ("chain", "star", "self-join", "union", "difference",
+  /// "aggregate", "planted:<pattern>") for diagnostics and repro files.
+  std::string scenario;
+  std::vector<Relation> relations;
+  QuerySpec spec;
+  WhyNotQuestion question;
+
+  size_t TotalRows() const;
+};
+
+/// A workload compiled against a fresh database.
+struct CompiledWorkload {
+  std::shared_ptr<Database> db;
+  std::shared_ptr<QueryTree> tree;
+};
+
+/// Builds the database from `w.relations` and canonicalizes `w.spec`.
+Result<CompiledWorkload> CompileWorkload(const GenWorkload& w);
+
+/// Deterministically generates the workload for `seed`.
+GenWorkload MakeDiffWorkload(uint64_t seed);
+
+/// Prints `spec` in the SQL subset grammar (ast.h). Returns "" when the spec
+/// uses a construct the grammar cannot express (e.g. a non-comparison
+/// selection); generated workloads always print.
+std::string SpecToSql(const QuerySpec& spec);
+
+/// Multi-line human-readable dump: scenario, relations (schema + rows),
+/// SQL, question.
+std::string DescribeWorkload(const GenWorkload& w);
+
+}  // namespace ned
+
+#endif  // NED_TESTING_WORKLOAD_H_

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <sstream>
 
 #include "common/rng.h"
 #include "core/nedexplain.h"
@@ -89,7 +91,25 @@ Workload MakeWorkload(uint64_t seed) {
   return w;
 }
 
-class RandomWorkload : public ::testing::TestWithParam<uint64_t> {};
+/// Every property failure must name its seed and how to rerun exactly that
+/// workload (the gtest param suffix is the Range index, i.e. seed - 1).
+std::string ReproNote(uint64_t seed) {
+  std::ostringstream os;
+  os << "failing seed " << seed
+     << "; rerun only this workload with: build/tests/property_test "
+        "--gtest_filter='Seeds/RandomWorkload.*/"
+     << (seed - 1) << "'";
+  return os.str();
+}
+
+class RandomWorkload : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  RandomWorkload() { repro_trace_ = std::make_unique<::testing::ScopedTrace>(
+      __FILE__, __LINE__, ReproNote(GetParam())); }
+
+ private:
+  std::unique_ptr<::testing::ScopedTrace> repro_trace_;
+};
 
 TEST_P(RandomWorkload, Property21EachDirTupleBlamedAtMostOnce) {
   Workload w = MakeWorkload(GetParam());

@@ -1,11 +1,19 @@
 /// \file use_cases_test.cpp
 /// \brief Locks in the Table 5 reproduction: for every use case of the
 /// paper's evaluation, the qualitative answer shape (which operator class is
-/// blamed, where the baseline fails) must match the paper.
+/// blamed, where the baseline fails) must match the paper -- plus golden-file
+/// snapshots of the *full* answers under tests/golden/, regenerated with
+/// `use_cases_test --update-golden`.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "baseline/whynot_baseline.h"
+#include "common/csv.h"
 #include "core/nedexplain.h"
 #include "datasets/crime.h"
 #include "datasets/gov.h"
@@ -14,6 +22,11 @@
 #include "tests/test_util.h"
 
 namespace ned {
+
+/// Set by main() on --update-golden: rewrite tests/golden/*.golden instead of
+/// comparing against them.
+bool g_update_golden = false;
+
 namespace {
 
 using testing::CondensedHasKind;
@@ -65,6 +78,92 @@ std::set<std::string> BlamedTuples(const CaseRun& run) {
     }
   }
   return out;
+}
+
+// ---- golden snapshots -----------------------------------------------------
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(NED_TEST_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string NodeLabel(const OperatorNode* node) {
+  return node->name + ": " + node->Describe();
+}
+
+/// Deterministic rendering of everything Table 5 talks about: the full
+/// detailed/condensed/secondary answers, per-c-tuple compatible-set sizes
+/// and survivors, and the baseline's verdict. List entries whose order is
+/// not semantically meaningful are sorted so incidental iteration-order
+/// changes do not churn the files.
+std::string Snapshot(const UseCase& uc, const CaseRun& run) {
+  std::ostringstream os;
+  os << "use-case: " << uc.name << " (" << uc.query_name << " over "
+     << uc.db_name << ")\n";
+  os << "sql: " << uc.sql << "\n";
+  os << "question: " << uc.question.ToString() << "\n";
+  os << "== nedexplain ==\n";
+  std::vector<std::string> detailed;
+  for (const auto& entry : run.ned.answer.detailed) {
+    std::string who = entry.is_bottom()
+                          ? "(bottom)"
+                          : run.engine->last_input().DisplayTuple(
+                                entry.dir_tuple);
+    detailed.push_back(who + " @ " + NodeLabel(entry.subquery));
+  }
+  std::sort(detailed.begin(), detailed.end());
+  for (const auto& line : detailed) os << "detailed: " << line << "\n";
+  for (const OperatorNode* node : run.ned.answer.condensed) {
+    os << "condensed: " << NodeLabel(node) << "\n";
+  }
+  std::vector<std::string> secondary;
+  for (const OperatorNode* node : run.ned.answer.secondary) {
+    secondary.push_back(NodeLabel(node));
+  }
+  std::sort(secondary.begin(), secondary.end());
+  for (const auto& line : secondary) os << "secondary: " << line << "\n";
+  for (size_t i = 0; i < run.ned.per_ctuple.size(); ++i) {
+    const auto& part = run.ned.per_ctuple[i];
+    os << "ctuple[" << i << "]: " << part.ctuple.ToString()
+       << " | dir=" << part.compat.dir.size()
+       << " indir=" << part.compat.indir.size()
+       << " survivors=" << part.survivors_at_root << "\n";
+  }
+  os << "== baseline ==\n";
+  if (!run.baseline.supported) {
+    os << "supported: no (" << run.baseline.unsupported_reason << ")\n";
+    return os.str();
+  }
+  os << "supported: yes\n";
+  os << "answer: " << run.baseline.AnswerToString() << "\n";
+  for (size_t i = 0; i < run.baseline.per_ctuple.size(); ++i) {
+    const auto& part = run.baseline.per_ctuple[i];
+    os << "ctuple[" << i << "]: unpicked=" << part.unpicked_items
+       << " frontier="
+       << (part.frontier_picky ? part.frontier_picky->name : "-")
+       << " present=" << (part.answer_deemed_present ? "yes" : "no") << "\n";
+  }
+  return os.str();
+}
+
+TEST(Golden, AllUseCasesMatchCheckedInSnapshots) {
+  ASSERT_EQ(Registry().use_cases().size(), 19u);
+  for (const UseCase& uc : Registry().use_cases()) {
+    CaseRun run = RunCase(uc.name);
+    std::string snapshot = Snapshot(uc, run);
+    std::string path = GoldenPath(uc.name);
+    if (g_update_golden) {
+      ASSERT_TRUE(WriteFile(path, snapshot).ok()) << path;
+      continue;
+    }
+    auto golden = ReadFile(path);
+    ASSERT_TRUE(golden.ok())
+        << "missing golden file " << path
+        << "; generate with: use_cases_test --update-golden";
+    EXPECT_EQ(*golden, snapshot)
+        << uc.name << " drifted from " << path
+        << "\n(if the change is intentional, rerun with --update-golden "
+           "and review the file diff)";
+  }
 }
 
 // ---- databases themselves ------------------------------------------------------
@@ -331,3 +430,13 @@ TEST(Table5, NedExplainAnswersAreAtLeastAsInformative) {
 
 }  // namespace
 }  // namespace ned
+
+// Custom main (instead of gtest_main) so `--update-golden` can rewrite the
+// snapshots under tests/golden/ in place.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") ned::g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

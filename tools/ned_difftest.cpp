@@ -1,0 +1,148 @@
+/// \file ned_difftest.cpp
+/// \brief Differential fuzzing CLI: NedExplain engine vs. brute-force oracle.
+///
+/// Usage:
+///   ned_difftest --seeds 1..5000 [--shrink] [--out repro_dir]
+///                [--stop-after N] [--no-baseline] [--no-et] [--no-sql] [-v]
+///
+/// Runs every seed in the range through the differential harness
+/// (src/testing/difftest.h). Failing seeds are reported with a one-line
+/// repro command; with --shrink each failure is minimized and, with --out,
+/// serialized as CSV + SQL + a ready-to-paste gtest case. Exit status is the
+/// number of failing seeds (capped at 99), so CI can gate on it.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/difftest.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ned_difftest --seeds A..B [--shrink] [--out DIR]\n"
+               "                    [--stop-after N] [--no-baseline]"
+               " [--no-et] [--no-sql] [--inject] [-v]\n");
+}
+
+bool ParseSeeds(const std::string& arg, uint64_t* lo, uint64_t* hi) {
+  size_t dots = arg.find("..");
+  char* end = nullptr;
+  if (dots == std::string::npos) {
+    *lo = *hi = std::strtoull(arg.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+  }
+  std::string a = arg.substr(0, dots), b = arg.substr(dots + 2);
+  *lo = std::strtoull(a.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *hi = std::strtoull(b.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && *lo <= *hi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t lo = 1, hi = 1000;
+  bool shrink = false, verbose = false, have_seeds = false;
+  size_t stop_after = SIZE_MAX;
+  std::string out_dir;
+  ned::DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      if (!ParseSeeds(next(), &lo, &hi)) {
+        Usage();
+        return 2;
+      }
+      have_seeds = true;
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--stop-after") {
+      stop_after = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-baseline") {
+      options.check_baseline = false;
+    } else if (arg == "--no-et") {
+      options.check_early_termination = false;
+    } else if (arg == "--no-sql") {
+      options.check_sql_roundtrip = false;
+    } else if (arg == "--inject") {
+      // Self-test: fake an engine divergence so the report/shrink/repro
+      // pipeline can be exercised without a real bug.
+      options.inject_divergence = true;
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (!have_seeds) {
+    std::fprintf(stderr, "note: no --seeds given, defaulting to %llu..%llu\n",
+                 (unsigned long long)lo, (unsigned long long)hi);
+  }
+
+  size_t failures = 0, ran = 0, skipped = 0;
+  for (uint64_t seed = lo; seed <= hi; ++seed) {
+    ned::DiffOutcome outcome = ned::RunDiffSeed(seed, options);
+    if (outcome.ran) {
+      ++ran;
+    } else if (outcome.ok()) {
+      ++skipped;
+      if (verbose) {
+        std::printf("seed %llu: %s\n", (unsigned long long)seed,
+                    outcome.note.c_str());
+      }
+    }
+    if (!outcome.ok()) {
+      ++failures;
+      std::printf("FAIL %s\n", outcome.Summary().c_str());
+      if (shrink) {
+        ned::GenWorkload w = ned::MakeDiffWorkload(seed);
+        ned::ShrinkResult shrunk = ned::ShrinkWorkload(w, options);
+        std::printf("  shrunk: %zu rows -> %zu rows (%zu/%zu reductions "
+                    "accepted)\n",
+                    w.TotalRows(), shrunk.workload.TotalRows(), shrunk.accepted,
+                    shrunk.tried);
+        if (!out_dir.empty()) {
+          ned::Status st =
+              ned::WriteRepro(shrunk.workload, shrunk.outcome, out_dir);
+          std::printf("  repro files: %s\n",
+                      st.ok() ? (out_dir + "/seed" + std::to_string(seed) +
+                                 "*")
+                                    .c_str()
+                              : st.ToString().c_str());
+        }
+      }
+      if (failures >= stop_after) {
+        std::printf("stopping after %zu failure(s)\n", failures);
+        break;
+      }
+    } else if (verbose && outcome.ran) {
+      std::printf("seed %llu (%s): ok\n", (unsigned long long)seed,
+                  outcome.scenario.c_str());
+    }
+    if (!verbose && (seed - lo + 1) % 500 == 0) {
+      std::printf("... %llu/%llu seeds, %zu failure(s)\n",
+                  (unsigned long long)(seed - lo + 1),
+                  (unsigned long long)(hi - lo + 1), failures);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("done: %llu seed(s), %zu compared, %zu rejected-by-both, "
+              "%zu failure(s)\n",
+              (unsigned long long)(hi - lo + 1), ran, skipped, failures);
+  return failures > 99 ? 99 : static_cast<int>(failures);
+}
