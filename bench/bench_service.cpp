@@ -1,0 +1,168 @@
+/// \file bench_service.cpp
+/// \brief Serving performance: throughput and p50/p99 latency vs workers.
+///
+/// Drives the Fig. 6 workloads (the paper's 19 use cases) through the
+/// concurrent WhyNotService at several worker-pool sizes, measuring
+/// end-to-end request latency (queue wait + execution) and aggregate
+/// throughput. Emits BENCH_service.json so the serving-perf trajectory can
+/// be tracked across PRs; the console table is the human view.
+///
+/// Usage: bench_service [--requests N] [--out path.json]
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "datasets/use_cases.h"
+#include "relational/catalog.h"
+#include "service/service.h"
+
+namespace {
+
+using ned::Catalog;
+using ned::Database;
+using ned::ServiceOptions;
+using ned::UseCase;
+using ned::UseCaseRegistry;
+using ned::WhyNotRequest;
+using ned::WhyNotResponse;
+using ned::WhyNotService;
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+struct RunResult {
+  int workers = 0;
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  size_t completed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 400;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      requests = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_service [--requests N] [--out path.json]\n";
+      return 2;
+    }
+  }
+
+  auto registry = UseCaseRegistry::Build();
+  if (!registry.ok()) {
+    std::cerr << registry.status().ToString() << "\n";
+    return 1;
+  }
+  auto catalog = std::make_shared<Catalog>();
+  for (const char* name : {"crime", "imdb", "gov"}) {
+    Database copy = registry->database(name);
+    NED_CHECK(catalog->Register(name, std::move(copy)).ok());
+  }
+  const std::vector<UseCase>& cases = registry->use_cases();
+
+  // Worker scaling is bounded by physical parallelism; record it so the
+  // JSON is interpretable on whatever machine produced it.
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "bench_service: " << requests << " requests round-robin over "
+            << cases.size() << " Fig. 6 use cases, " << cores << " cores\n";
+  std::cout << "workers  wall_ms  req/s    p50_ms  p99_ms\n";
+
+  std::vector<RunResult> results;
+  for (int workers : {1, 2, 4, 8}) {
+    ServiceOptions options;
+    options.workers = workers;
+    // Deep queue: this measures execution scaling, not admission control.
+    options.queue_capacity = static_cast<size_t>(requests) + 1;
+    options.default_deadline_ms = 60'000;
+    WhyNotService service(catalog, options);
+
+    // Warm-up pass so first-touch costs don't land on worker-count 1.
+    for (size_t i = 0; i < cases.size(); ++i) {
+      WhyNotRequest req;
+      req.key = ned::StrCat("warm-", i);
+      req.db_name = cases[i].db_name;
+      req.sql = cases[i].sql;
+      req.question = cases[i].question;
+      auto sub = service.Submit(std::move(req));
+      if (sub.status.ok()) sub.response.get();
+    }
+
+    std::vector<std::shared_future<WhyNotResponse>> futures;
+    futures.reserve(static_cast<size_t>(requests));
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < requests; ++i) {
+      const UseCase& uc = cases[static_cast<size_t>(i) % cases.size()];
+      WhyNotRequest req;
+      req.key = ned::StrCat("w", workers, "-r", i);
+      req.db_name = uc.db_name;
+      req.sql = uc.sql;
+      req.question = uc.question;
+      auto sub = service.Submit(std::move(req));
+      NED_CHECK_MSG(sub.status.ok(), sub.status.ToString());
+      futures.push_back(sub.response);
+    }
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    size_t completed = 0;
+    for (auto& f : futures) {
+      WhyNotResponse resp = f.get();
+      if (resp.status.ok()) {
+        ++completed;
+        latencies.push_back(resp.queue_ms + resp.exec_ms);
+      }
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    service.Shutdown();
+
+    RunResult r;
+    r.workers = workers;
+    r.wall_ms = wall_ms;
+    r.throughput_rps = 1000.0 * static_cast<double>(completed) / wall_ms;
+    r.p50_ms = Percentile(latencies, 0.50);
+    r.p99_ms = Percentile(latencies, 0.99);
+    r.completed = completed;
+    results.push_back(r);
+    std::printf("%7d  %7.1f  %7.1f  %6.3f  %6.3f\n", r.workers, r.wall_ms,
+                r.throughput_rps, r.p50_ms, r.p99_ms);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"service\",\n  \"requests\": " << requests
+      << ",\n  \"use_cases\": " << cases.size() << ",\n  \"cores\": " << cores
+      << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    out << "    {\"workers\": " << r.workers << ", \"completed\": "
+        << r.completed << ", \"wall_ms\": " << r.wall_ms
+        << ", \"throughput_rps\": " << r.throughput_rps
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

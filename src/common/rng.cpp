@@ -1,4 +1,21 @@
 #include "common/rng.h"
 
-// Header-only; this translation unit exists so the build exercises the header
-// under the project's warning flags.
+namespace ned {
+
+uint64_t HashSeed(const std::string& key) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+  return h;
+}
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ned

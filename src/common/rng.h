@@ -56,6 +56,17 @@ class Rng {
   uint64_t state_;
 };
 
+/// 64-bit FNV-1a over a string key. Used to derive per-request RNG seeds
+/// from idempotency keys so concurrent requests are deterministic and
+/// differential-testable: the same (base seed, key) pair always yields the
+/// same stream, independent of scheduling or process-global state.
+uint64_t HashSeed(const std::string& key);
+
+/// Mixes two seeds into one (SplitMix64 finalizer over the xor). Lets a
+/// request derive independent sub-streams, e.g. MixSeed(client_seed,
+/// HashSeed(request_key)) for retry jitter.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
 }  // namespace ned
 
 #endif  // NED_COMMON_RNG_H_

@@ -30,6 +30,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -73,6 +74,11 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Transient inability to serve (overload shedding, shutdown, injected
+  /// infrastructure fault). The one code clients should retry with backoff.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

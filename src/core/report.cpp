@@ -4,6 +4,39 @@
 
 namespace ned {
 
+std::string AnswerSummary::ToString() const {
+  std::string out = "condensed=[" + Join(condensed, ",") + "] detailed=" +
+                    std::to_string(detailed.size()) + " secondary=[" +
+                    Join(secondary, ",") + "]";
+  out += complete ? " (complete)" : " (" + completeness + ")";
+  return out;
+}
+
+AnswerSummary SummarizeResult(const NedExplainEngine& engine,
+                              const NedExplainResult& result) {
+  const QueryInput& input = engine.last_input();
+  AnswerSummary summary;
+  summary.detailed.reserve(result.answer.detailed.size());
+  for (const DetailedEntry& entry : result.answer.detailed) {
+    summary.detailed.push_back(WhyNotAnswer::EntryToString(entry, input));
+  }
+  for (const OperatorNode* node : result.answer.condensed) {
+    summary.condensed.push_back(node->name);
+  }
+  for (const OperatorNode* node : result.answer.secondary) {
+    summary.secondary.push_back(node->name);
+  }
+  summary.dir_total = result.dir_total;
+  summary.indir_total = result.indir_total;
+  for (const CTupleExplainResult& part : result.per_ctuple) {
+    summary.survivors_at_root += part.survivors_at_root;
+  }
+  summary.complete = result.completeness.complete;
+  summary.tripped = result.completeness.tripped;
+  summary.completeness = result.completeness.ToString();
+  return summary;
+}
+
 std::string RenderExplainReport(const NedExplainEngine& engine,
                                 const WhyNotQuestion& question,
                                 const NedExplainResult& result) {

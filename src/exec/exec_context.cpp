@@ -16,28 +16,34 @@ bool IsResourceLimit(const Status& status) {
 }
 
 Status ExecContext::CheckPoint() {
-  ++steps_;
-  if (inject_at_ != 0 && steps_ == inject_at_) {
+  // Single-writer counter: only the evaluating thread calls CheckPoint, so
+  // load+store (a plain mov each, no lock prefix) replaces fetch_add.
+  const uint64_t step = steps_.load(std::memory_order_relaxed) + 1;
+  steps_.store(step, std::memory_order_relaxed);
+  const uint64_t inject_at = inject_at_.load(std::memory_order_relaxed);
+  if (inject_at != 0 && step == inject_at) {
     return Status::ResourceExhausted(
-        StrCat("injected failure at step ", steps_));
+        StrCat("injected failure at step ", step));
   }
   if (cancel_requested()) {
     return Status::Cancelled("evaluation cancelled by caller");
   }
-  if (row_budget_ != 0 && rows_charged_ > row_budget_) {
+  const size_t rows = rows_charged_.load(std::memory_order_relaxed);
+  if (row_budget_ != 0 && rows > row_budget_) {
     return Status::ResourceExhausted(
-        StrCat("row budget exhausted: materialized ", rows_charged_,
+        StrCat("row budget exhausted: materialized ", rows,
                " rows, budget ", row_budget_));
   }
-  if (memory_budget_ != 0 && bytes_charged_ > memory_budget_) {
+  const size_t bytes = bytes_charged_.load(std::memory_order_relaxed);
+  if (memory_budget_ != 0 && bytes > memory_budget_) {
     return Status::ResourceExhausted(
-        StrCat("memory budget exhausted: ~", bytes_charged_,
+        StrCat("memory budget exhausted: ~", bytes,
                " bytes materialized, budget ", memory_budget_));
   }
   if (deadline_.has_value() &&
       std::chrono::steady_clock::now() >= *deadline_) {
     return Status::DeadlineExceeded(
-        StrCat("deadline exceeded after ", steps_, " checkpoints"));
+        StrCat("deadline exceeded after ", step, " checkpoints"));
   }
   return Status::OK();
 }

@@ -33,9 +33,19 @@ namespace ned {
 /// budget comparison, injection test) runs once per this many rows.
 inline constexpr uint64_t kCheckInterval = 256;
 
-/// Limits and cancellation for one evaluation. Not thread-safe except for
-/// RequestCancel()/cancel_requested(), which may be called from another
-/// thread to interrupt a running evaluation cooperatively.
+/// Limits and cancellation for one evaluation.
+///
+/// Thread model (audited under ThreadSanitizer via the service tests): the
+/// configuration setters (deadline, budgets, InjectFailureAt) must happen
+/// before the context is shared with the evaluating thread -- the service
+/// publishes them through its queue mutex. Once evaluation runs, *all*
+/// mutable state (cancellation flag, step/tick counters, charge accounting)
+/// is std::atomic with relaxed ordering, so a watchdog or monitoring thread
+/// may concurrently call RequestCancel() and read steps()/rows_charged()/
+/// bytes_charged() without racing the evaluator. The counters are
+/// single-writer (only the evaluating thread mutates them), which lets the
+/// hot path use relaxed load+store pairs -- plain movs, no locked RMW --
+/// keeping governance overhead within the <2% bar (bench_limits).
 class ExecContext {
  public:
   ExecContext() = default;
@@ -74,20 +84,35 @@ class ExecContext {
   /// kResourceExhausted. 0 disables injection. Steps count CheckPoint()
   /// calls, which are independent of wall-clock time, so a given
   /// (query, data, step_index) always fails at the same evaluation point.
-  void InjectFailureAt(uint64_t step_index) { inject_at_ = step_index; }
+  void InjectFailureAt(uint64_t step_index) {
+    inject_at_.store(step_index, std::memory_order_relaxed);
+  }
 
   // ---- accounting ---------------------------------------------------------
 
   /// Charges `n` materialized rows against the row budget (checked at the
-  /// next checkpoint, so a tight inner loop only pays an add here).
-  void ChargeRows(size_t n) { rows_charged_ += n; }
+  /// next checkpoint, so a tight inner loop only pays an add here). Like
+  /// all counters, single-writer: only the evaluating thread charges, so a
+  /// relaxed load+store (plain movs) suffices and concurrent readers stay
+  /// race-free.
+  void ChargeRows(size_t n) {
+    rows_charged_.store(rows_charged_.load(std::memory_order_relaxed) + n,
+                        std::memory_order_relaxed);
+  }
   /// Charges approximately `n` bytes against the memory budget.
-  void ChargeBytes(size_t n) { bytes_charged_ += n; }
+  void ChargeBytes(size_t n) {
+    bytes_charged_.store(bytes_charged_.load(std::memory_order_relaxed) + n,
+                         std::memory_order_relaxed);
+  }
 
-  size_t rows_charged() const { return rows_charged_; }
-  size_t bytes_charged() const { return bytes_charged_; }
+  size_t rows_charged() const {
+    return rows_charged_.load(std::memory_order_relaxed);
+  }
+  size_t bytes_charged() const {
+    return bytes_charged_.load(std::memory_order_relaxed);
+  }
   /// Checkpoints passed so far (the fault-injection step space).
-  uint64_t steps() const { return steps_; }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
 
   // ---- checking -----------------------------------------------------------
 
@@ -100,17 +125,19 @@ class ExecContext {
   /// per row. Budgets are charged separately via ChargeRows/ChargeBytes when
   /// tuples actually materialize.
   Status CheckEvery() {
-    if ((++ticks_ & (kCheckInterval - 1)) != 0) return Status::OK();
+    const uint64_t tick = ticks_.load(std::memory_order_relaxed) + 1;
+    ticks_.store(tick, std::memory_order_relaxed);
+    if ((tick & (kCheckInterval - 1)) != 0) return Status::OK();
     return CheckPoint();
   }
 
   /// Resets accounting and step counters (budgets/deadline stay configured).
   /// Lets one context govern several sequential evaluations in tests.
   void ResetCounters() {
-    rows_charged_ = 0;
-    bytes_charged_ = 0;
-    steps_ = 0;
-    ticks_ = 0;
+    rows_charged_.store(0, std::memory_order_relaxed);
+    bytes_charged_.store(0, std::memory_order_relaxed);
+    steps_.store(0, std::memory_order_relaxed);
+    ticks_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -118,11 +145,11 @@ class ExecContext {
   size_t row_budget_ = 0;
   size_t memory_budget_ = 0;
   std::atomic<bool> cancelled_{false};
-  uint64_t inject_at_ = 0;
-  uint64_t steps_ = 0;
-  uint64_t ticks_ = 0;
-  size_t rows_charged_ = 0;
-  size_t bytes_charged_ = 0;
+  std::atomic<uint64_t> inject_at_{0};
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<size_t> rows_charged_{0};
+  std::atomic<size_t> bytes_charged_{0};
 };
 
 /// True for the status codes that mean "a governed limit tripped" rather

@@ -1,0 +1,79 @@
+#include "relational/catalog.h"
+
+#include <utility>
+
+namespace ned {
+
+Status Catalog::Register(const std::string& name, Database db) {
+  auto snapshot = std::make_shared<const Database>(std::move(db));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(name, Entry{std::move(snapshot), 1});
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("database already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<Catalog::Snapshot> Catalog::GetSnapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such database: " + name);
+  }
+  return Snapshot{it->second.db, it->second.version};
+}
+
+Status Catalog::SwapDatabase(const std::string& name, Database db) {
+  auto snapshot = std::make_shared<const Database>(std::move(db));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such database: " + name);
+  }
+  it->second.db = std::move(snapshot);
+  ++it->second.version;
+  return Status::OK();
+}
+
+Status Catalog::ReloadCsv(const std::string& name, const std::string& relation,
+                          const std::string& csv_text) {
+  // Copy and mutate outside the lock: a large reload must not block
+  // admission or other snapshot reads while it parses.
+  NED_ASSIGN_OR_RETURN(Snapshot base, GetSnapshot(name));
+  Database copy = *base.db;
+  if (copy.HasRelation(relation)) {
+    NED_RETURN_NOT_OK(copy.RemoveRelation(relation));
+  }
+  NED_RETURN_NOT_OK(copy.LoadCsv(relation, csv_text));
+  auto snapshot = std::make_shared<const Database>(std::move(copy));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("database dropped during reload: " + name);
+  }
+  it->second.db = std::move(snapshot);
+  ++it->second.version;
+  return Status::OK();
+}
+
+bool Catalog::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+uint64_t Catalog::VersionOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ned

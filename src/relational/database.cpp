@@ -22,6 +22,15 @@ Status Database::AddRelation(Relation relation) {
   return Status::OK();
 }
 
+Status Database::RemoveRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
 Result<const Relation*> Database::GetRelation(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

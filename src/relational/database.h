@@ -26,6 +26,11 @@ class Database {
   /// Adds (moves) a fully built relation.
   Status AddRelation(Relation relation);
 
+  /// Drops a relation; error when absent. Together with LoadCsv this is the
+  /// copy-on-write reload primitive the Catalog uses: copy the Database,
+  /// remove + reload the relation on the copy, publish the copy.
+  Status RemoveRelation(const std::string& name);
+
   bool HasRelation(const std::string& name) const {
     return relations_.count(name) > 0;
   }

@@ -1,0 +1,74 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ned {
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+int64_t BackoffMs(const RetryPolicy& policy, int attempt,
+                  int64_t suggested_ms, Rng& rng) {
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) backoff *= policy.multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0) {
+    const double factor =
+        1.0 + policy.jitter * (2.0 * rng.UniformDouble() - 1.0);
+    backoff *= factor;
+  }
+  int64_t ms = static_cast<int64_t>(backoff);
+  ms = std::max<int64_t>(ms, 0);
+  return std::max(ms, suggested_ms);
+}
+
+RetryOutcome SubmitWithRetry(WhyNotService& service, WhyNotRequest request,
+                             const RetryPolicy& policy) {
+  NED_CHECK_MSG(!request.key.empty(),
+                "SubmitWithRetry needs an idempotency key: retries must "
+                "resubmit under the same key");
+  // Per-request determinism: same (seed, key) -> same jitter schedule.
+  Rng rng(MixSeed(request.seed, HashSeed(request.key)));
+  RetryOutcome outcome;
+  Status last_failure;
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    ++outcome.attempts;
+    auto submission = service.Submit(request);
+    int64_t suggested_ms = 0;
+    if (submission.status.ok()) {
+      WhyNotResponse response = submission.response.get();
+      if (!response.retryable()) {
+        outcome.response = std::move(response);
+        return outcome;
+      }
+      ++outcome.transients;
+      last_failure = response.status;
+      suggested_ms = response.retry_after_ms;
+    } else if (IsRetryable(submission.status)) {
+      ++outcome.sheds;
+      last_failure = submission.status;
+      suggested_ms = submission.retry_after_ms;
+    } else {
+      outcome.permanent_rejection = true;
+      outcome.response.key = request.key;
+      outcome.response.status = submission.status;
+      return outcome;
+    }
+    if (attempt == policy.max_attempts) break;
+    const int64_t backoff = BackoffMs(policy, attempt, suggested_ms, rng);
+    outcome.backoff_total_ms += backoff;
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
+  outcome.exhausted = true;
+  outcome.response.key = request.key;
+  outcome.response.status = Status::Unavailable(
+      "retry attempts exhausted; last failure: " + last_failure.ToString());
+  return outcome;
+}
+
+}  // namespace ned

@@ -1,0 +1,312 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+#include "sql/binder.h"
+
+namespace ned {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+}  // namespace
+
+/// One admitted request: everything its execution needs, pinned at
+/// admission. The shared_ptr is held by the queue, the in-flight map and
+/// (transiently) the executing worker; the watchdog reaches the ExecContext
+/// through the in-flight map under the service mutex.
+struct WhyNotService::Job {
+  WhyNotRequest request;
+  Catalog::Snapshot snapshot;
+  std::shared_ptr<ExecContext> ctx;
+  Clock::time_point submit_time;
+  Clock::time_point deadline;
+  /// Bytes charged against the admission watermark for this request.
+  size_t memory_charge = 0;
+  bool running = false;          // guarded by mu_
+  bool watchdog_fired = false;   // guarded by mu_
+  std::promise<WhyNotResponse> promise;
+  std::shared_future<WhyNotResponse> future;
+};
+
+WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
+                             ServiceOptions options)
+    : catalog_(std::move(catalog)), options_(options) {
+  NED_CHECK_MSG(catalog_ != nullptr, "service needs a catalog");
+  NED_CHECK_MSG(options_.workers > 0, "service needs at least one worker");
+  NED_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+WhyNotService::~WhyNotService() { Shutdown(/*drain=*/true); }
+
+int64_t WhyNotService::SuggestedBackoffLocked() const {
+  const int64_t load_factor =
+      1 + static_cast<int64_t>(queue_.size()) / options_.workers;
+  return std::min(options_.base_backoff_ms * load_factor,
+                  options_.max_backoff_ms);
+}
+
+WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
+  Submission sub;
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (request.key.empty()) {
+    request.key = StrCat("auto-", ++next_auto_key_);
+  }
+  if (!accepting_) {
+    ++stats_.rejected_shutdown;
+    sub.status = Status::Unavailable("service shutting down");
+    return sub;
+  }
+  // Idempotency: a completed key re-serves its cached response; an
+  // in-flight key coalesces onto the pending execution. Neither runs twice.
+  if (auto it = completed_.find(request.key); it != completed_.end()) {
+    ++stats_.served_from_cache;
+    std::promise<WhyNotResponse> ready;
+    ready.set_value(it->second);
+    sub.status = Status::OK();
+    sub.deduped = true;
+    sub.response = ready.get_future().share();
+    return sub;
+  }
+  if (auto it = inflight_.find(request.key); it != inflight_.end()) {
+    ++stats_.deduped_inflight;
+    sub.status = Status::OK();
+    sub.deduped = true;
+    sub.response = it->second->future;
+    return sub;
+  }
+  // Admission control: shed rather than queue unboundedly.
+  if (queue_.size() >= options_.queue_capacity) {
+    ++stats_.shed_queue_full;
+    sub.status = Status::Unavailable(
+        StrCat("overloaded: queue full (", queue_.size(), " queued)"));
+    sub.retry_after_ms = SuggestedBackoffLocked();
+    return sub;
+  }
+  const size_t mem = request.memory_budget != 0 ? request.memory_budget
+                                                : options_.default_memory_budget;
+  // The watermark only sheds when other work is admitted: a request whose
+  // budget alone exceeds it must still be runnable once the service drains,
+  // or a retry loop would never terminate.
+  if (options_.memory_watermark_bytes != 0 && !inflight_.empty() &&
+      admitted_bytes_ + mem > options_.memory_watermark_bytes) {
+    ++stats_.shed_memory;
+    sub.status = Status::Unavailable(
+        StrCat("overloaded: memory watermark (", admitted_bytes_, " + ", mem,
+               " > ", options_.memory_watermark_bytes, " bytes)"));
+    sub.retry_after_ms = SuggestedBackoffLocked();
+    return sub;
+  }
+  // Pin the catalog snapshot at admission: this request sees the database
+  // as of now, whatever reloads happen while it waits or runs.
+  auto snapshot = catalog_->GetSnapshot(request.db_name);
+  if (!snapshot.ok()) {
+    sub.status = snapshot.status();  // permanent: do not retry
+    return sub;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->snapshot = *snapshot;
+  job->submit_time = Clock::now();
+  const int64_t deadline_ms = job->request.deadline_ms != 0
+                                  ? job->request.deadline_ms
+                                  : options_.default_deadline_ms;
+  job->deadline = job->submit_time + std::chrono::milliseconds(deadline_ms);
+  job->memory_charge = mem;
+  job->ctx = std::make_shared<ExecContext>();
+  if (options_.context_deadline) job->ctx->set_deadline(job->deadline);
+  const size_t rows = job->request.row_budget != 0
+                          ? job->request.row_budget
+                          : options_.default_row_budget;
+  if (rows != 0) job->ctx->set_row_budget(rows);
+  if (mem != 0) job->ctx->set_memory_budget(mem);
+  if (job->request.inject_fault_at_step != 0) {
+    job->ctx->InjectFailureAt(job->request.inject_fault_at_step);
+  }
+  job->future = job->promise.get_future().share();
+
+  queue_.push_back(job);
+  inflight_.emplace(job->request.key, job);
+  admitted_bytes_ += mem;
+  ++stats_.accepted;
+  sub.status = Status::OK();
+  sub.response = job->future;
+  lock.unlock();
+  work_cv_.notify_one();
+  return sub;
+}
+
+void WhyNotService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      job->running = true;
+    }
+    Execute(job);
+  }
+}
+
+void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
+  const WhyNotRequest& req = job->request;
+  WhyNotResponse response;
+  response.key = req.key;
+  response.snapshot_version = job->snapshot.version;
+  const Clock::time_point exec_start = Clock::now();
+  response.queue_ms = MsSince(job->submit_time, exec_start);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response.attempt = ++attempts_[req.key];
+  }
+  // Injected transient infrastructure fault: retryable, unlike engine
+  // checkpoint faults which produce final (partial) answers below.
+  if (response.attempt <= req.inject_transient_failures) {
+    response.status = Status::Unavailable(
+        StrCat("injected transient fault (attempt ", response.attempt, ")"));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      response.retry_after_ms = SuggestedBackoffLocked();
+      ++stats_.transient_failures;
+    }
+    response.exec_ms = MsSince(exec_start, Clock::now());
+    Finalize(job, std::move(response), /*final=*/false);
+    return;
+  }
+
+  // Crash isolation: every failure below lands in `response.status` for
+  // this request alone; the worker and its siblings carry on.
+  const Database& db = *job->snapshot.db;
+  auto tree = CompileSql(req.sql, db);
+  if (!tree.ok()) {
+    response.status = tree.status();
+    response.exec_ms = MsSince(exec_start, Clock::now());
+    Finalize(job, std::move(response), /*final=*/true);
+    return;
+  }
+  auto engine = NedExplainEngine::Create(&*tree, &db, req.engine_options);
+  if (!engine.ok()) {
+    response.status = engine.status();
+    response.exec_ms = MsSince(exec_start, Clock::now());
+    Finalize(job, std::move(response), /*final=*/true);
+    return;
+  }
+  auto result = engine->Explain(req.question, job->ctx.get());
+  response.exec_ms = MsSince(exec_start, Clock::now());
+  if (!result.ok()) {
+    // Non-resource error (resource limits come back as OK partials).
+    response.status = result.status();
+  } else {
+    response.status = Status::OK();
+    response.answer = SummarizeResult(*engine, *result);
+  }
+  Finalize(job, std::move(response), /*final=*/true);
+}
+
+void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
+                             WhyNotResponse response, bool final) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(job->request.key);
+    admitted_bytes_ -= job->memory_charge;
+    if (final) {
+      ++stats_.completed;
+      attempts_.erase(job->request.key);
+      if (options_.completed_cache_capacity > 0) {
+        completed_fifo_.push_back(job->request.key);
+        completed_[job->request.key] = response;
+        while (completed_fifo_.size() > options_.completed_cache_capacity) {
+          completed_.erase(completed_fifo_.front());
+          completed_fifo_.pop_front();
+        }
+      }
+    }
+    // Not final: the key leaves the books entirely, so a retry with the
+    // same key re-executes (its attempt counter persists in attempts_).
+  }
+  job->promise.set_value(std::move(response));
+}
+
+void WhyNotService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.watchdog_interval_ms));
+    const Clock::time_point now = Clock::now();
+    for (auto& [key, job] : inflight_) {
+      if (!job->watchdog_fired && now >= job->deadline) {
+        // Backstop for checkpoint gaps: cooperative deadline checks should
+        // normally trip first, but the watchdog guarantees the bound.
+        job->ctx->RequestCancel();
+        job->watchdog_fired = true;
+        ++stats_.watchdog_cancels;
+      }
+    }
+  }
+}
+
+void WhyNotService::Shutdown(bool drain) {
+  std::vector<std::shared_ptr<Job>> to_fail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (!drain) {
+      to_fail.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+      for (auto& [key, job] : inflight_) {
+        if (job->running) job->ctx->RequestCancel();
+      }
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (const auto& job : to_fail) {
+    WhyNotResponse response;
+    response.key = job->request.key;
+    response.status = Status::Unavailable("service shut down before execution");
+    Finalize(job, std::move(response), /*final=*/false);
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  // The exactly-once invariant: every accepted request was finalized -- no
+  // response lost (a promise with waiters would otherwise hang them) and,
+  // by construction of Finalize, none resolved twice.
+  std::lock_guard<std::mutex> lock(mu_);
+  NED_CHECK_MSG(inflight_.empty(),
+                "shutdown left accepted requests without responses");
+  NED_CHECK(queue_.empty());
+}
+
+WhyNotService::Stats WhyNotService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t WhyNotService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace ned

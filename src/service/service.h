@@ -1,0 +1,222 @@
+/// \file service.h
+/// \brief WhyNotService: a concurrent, resource-governed why-not server.
+///
+/// Turns the single-request engine into a bounded multi-request service:
+/// requests (SQL + why-not predicate + per-request deadline/budget) are
+/// admitted onto a bounded queue and executed on a fixed worker pool, each
+/// under its own ExecContext, against the immutable Catalog snapshot pinned
+/// at admission. The contract, in order of the guarantees it gives:
+///
+///  1. Admission control / load shedding. A full queue or a breached
+///     memory watermark (summed memory budgets of admitted-but-unfinished
+///     requests) rejects the submission *synchronously* with a retryable
+///     kUnavailable carrying a suggested backoff -- the queue never grows
+///     unboundedly and overload cannot push accepted requests past their
+///     deadlines.
+///  2. Snapshot isolation. Each request pins the Catalog snapshot current
+///     at admission and evaluates against it even if the database is
+///     reloaded or swapped mid-flight.
+///  3. Deadline enforcement. The request's deadline covers queue wait plus
+///     execution; it is armed inside the ExecContext (cooperative
+///     checkpoints) and backstopped by a watchdog thread that fires
+///     RequestCancel on overrun, so a checkpoint gap cannot blow the
+///     latency bound.
+///  4. Crash isolation and exactly-once responses. Any Status error or
+///     tripped limit is contained in its request's response; every accepted
+///     request resolves its future exactly once (Shutdown NED_CHECKs that
+///     none is lost), and idempotent request keys deduplicate concurrent
+///     duplicates and serve completed ones from cache without re-execution.
+///
+/// Fault injection for the chaos harness comes in two flavours with
+/// distinct semantics: engine checkpoint faults (`inject_fault_at_step`)
+/// surface as honest *partial answers* (final, not retried), while service
+/// transient faults (`inject_transient_failures`) surface as retryable
+/// kUnavailable responses that the retry policy (retry.h) resolves.
+
+#ifndef NED_SERVICE_SERVICE_H_
+#define NED_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nedexplain.h"
+#include "core/report.h"
+#include "exec/exec_context.h"
+#include "relational/catalog.h"
+
+namespace ned {
+
+/// Sizing and policy knobs for one service instance.
+struct ServiceOptions {
+  /// Fixed worker pool size.
+  int workers = 4;
+  /// Bounded queue: submissions beyond this depth are shed.
+  size_t queue_capacity = 64;
+  /// When non-zero, also shed while the summed memory budgets of admitted
+  /// but unfinished requests exceed this watermark. Requests with no memory
+  /// budget (request and default both 0) are invisible to it, so give
+  /// `default_memory_budget` a value when using the watermark.
+  size_t memory_watermark_bytes = 0;
+  /// Applied when a request leaves deadline_ms == 0.
+  int64_t default_deadline_ms = 2000;
+  /// Applied when a request leaves the budget == 0 (0 = unlimited).
+  size_t default_row_budget = 0;
+  size_t default_memory_budget = 0;
+  /// Suggested-backoff shape for shed work: base * (1 + queued/workers),
+  /// capped. Clients may use it directly or feed it to RetryPolicy.
+  int64_t base_backoff_ms = 5;
+  int64_t max_backoff_ms = 500;
+  /// Completed responses kept for idempotent re-submission (FIFO evicted).
+  size_t completed_cache_capacity = 1 << 16;
+  /// Watchdog scan period.
+  int64_t watchdog_interval_ms = 2;
+  /// Arm the deadline inside the ExecContext (cooperative checkpoints). Off,
+  /// only the watchdog enforces it -- the service tests use that to prove
+  /// the watchdog alone bounds a runaway evaluation.
+  bool context_deadline = true;
+};
+
+/// One why-not request. `key` is the idempotency key: resubmitting the same
+/// key never executes twice concurrently and re-serves a completed answer
+/// from cache; an empty key gets a unique auto-assigned one.
+struct WhyNotRequest {
+  std::string key;
+  std::string db_name;
+  std::string sql;
+  WhyNotQuestion question;
+  /// End-to-end deadline (queue wait + execution). 0 = service default.
+  int64_t deadline_ms = 0;
+  /// Per-request budgets; 0 = service default.
+  size_t row_budget = 0;
+  size_t memory_budget = 0;
+  /// Seed for any randomness consumed on behalf of this request (retry
+  /// jitter); derived per request, never process-global, so concurrent runs
+  /// stay deterministic.
+  uint64_t seed = 0;
+  /// Chaos knobs (see file comment for the semantics split).
+  uint64_t inject_fault_at_step = 0;
+  int inject_transient_failures = 0;
+  NedExplainOptions engine_options;
+};
+
+/// The final outcome of one execution attempt. `status` OK means the
+/// request produced an answer -- possibly partial, see `answer.complete` --
+/// while kUnavailable means a transient service-side failure worth
+/// retrying; anything else is a permanent request error (bad SQL, unknown
+/// database).
+struct WhyNotResponse {
+  std::string key;
+  Status status;
+  AnswerSummary answer;
+  /// Catalog snapshot version the request was evaluated against.
+  uint64_t snapshot_version = 0;
+  /// 1-based execution attempt (counts transient-failure attempts).
+  int attempt = 0;
+  double queue_ms = 0;
+  double exec_ms = 0;
+  /// Suggested client backoff when `status` is retryable.
+  int64_t retry_after_ms = 0;
+
+  bool retryable() const { return status.code() == StatusCode::kUnavailable; }
+};
+
+/// The concurrent why-not service. All public methods are thread-safe.
+class WhyNotService {
+ public:
+  /// Outcome of Submit. `status` OK: the request is admitted (or coalesced
+  /// onto an identical in-flight/completed key) and `response` will resolve
+  /// exactly once. kUnavailable: shed -- retry after `retry_after_ms`.
+  /// Anything else (e.g. kNotFound for an unknown database): permanent
+  /// rejection, do not retry.
+  struct Submission {
+    Status status;
+    int64_t retry_after_ms = 0;
+    std::shared_future<WhyNotResponse> response;
+    /// True when this submission attached to an existing key instead of
+    /// admitting new work.
+    bool deduped = false;
+  };
+
+  /// Monotonic counters; `Check` invariants are asserted from them.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_memory = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t deduped_inflight = 0;
+    uint64_t served_from_cache = 0;
+    uint64_t completed = 0;
+    uint64_t transient_failures = 0;
+    uint64_t watchdog_cancels = 0;
+  };
+
+  WhyNotService(std::shared_ptr<Catalog> catalog, ServiceOptions options = {});
+  ~WhyNotService();
+
+  WhyNotService(const WhyNotService&) = delete;
+  WhyNotService& operator=(const WhyNotService&) = delete;
+
+  /// Admission control; never blocks on a full queue (sheds instead).
+  Submission Submit(WhyNotRequest request);
+
+  /// Stops the service. drain=true executes everything already queued;
+  /// drain=false fails queued requests with kUnavailable and cancels
+  /// running ones (their responses are honest partial answers). Either way
+  /// every accepted request's future resolves before Shutdown returns --
+  /// asserted via NED_CHECK. Idempotent.
+  void Shutdown(bool drain = true);
+
+  Stats stats() const;
+  size_t queue_depth() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  void WatchdogLoop();
+  void Execute(const std::shared_ptr<Job>& job);
+  /// Resolves the job's promise and drops it from the in-flight books.
+  /// `final` moves the response into the idempotency cache; transient
+  /// failures instead clear the key so a retry re-executes.
+  void Finalize(const std::shared_ptr<Job>& job, WhyNotResponse response,
+                bool final);
+  int64_t SuggestedBackoffLocked() const;
+
+  const std::shared_ptr<Catalog> catalog_;
+  const ServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable watchdog_cv_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  std::deque<std::shared_ptr<Job>> queue_;
+  /// Accepted, not yet finalized (queued or running), by idempotency key.
+  std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
+  /// Execution-attempt counters per key (spans transient-failure retries).
+  std::unordered_map<std::string, int> attempts_;
+  /// Completed responses for idempotent re-submission + FIFO eviction order.
+  std::unordered_map<std::string, WhyNotResponse> completed_;
+  std::deque<std::string> completed_fifo_;
+  /// Summed memory budgets of in-flight requests (watermark accounting).
+  size_t admitted_bytes_ = 0;
+  uint64_t next_auto_key_ = 0;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace ned
+
+#endif  // NED_SERVICE_SERVICE_H_

@@ -209,6 +209,28 @@ Result<QuerySpec> BindSql(const SqlQuery& ast, const Database& db) {
     spec.set_ops.push_back(except ? SetOpKind::kDifference
                                   : SetOpKind::kUnion);
   }
+  // Set-op output renaming: `SELECT Co.lastname AS name ... UNION ...`
+  // names the union's k-th output column after the first block's k-th
+  // alias. Aggregate aliases already became the block's output name in
+  // BindSelect, so carrying them through here is a no-op rename; plain
+  // column aliases are only meaningful under a set op (the single-block
+  // projection keeps its attribute names).
+  if (spec.blocks.size() > 1 && !ast.blocks.front().select_star) {
+    const auto& items = ast.blocks.front().select;
+    bool any_alias = false;
+    for (const auto& item : items) {
+      if (!item.alias.empty() && !item.is_aggregate) any_alias = true;
+    }
+    if (any_alias) {
+      const QueryBlock& first = spec.blocks.front();
+      NED_CHECK(items.size() == first.projection.size());
+      for (size_t k = 0; k < items.size(); ++k) {
+        spec.union_names.push_back(items[k].alias.empty()
+                                       ? first.projection[k].name
+                                       : items[k].alias);
+      }
+    }
+  }
   return spec;
 }
 

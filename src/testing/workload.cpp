@@ -442,11 +442,26 @@ std::string SqlOperandOf(const Expression* e, bool* ok) {
   return "";
 }
 
-std::string SqlBlock(const QueryBlock& block, bool* ok) {
+/// Prints one block. `union_names` is non-null for the first block of a
+/// set-op chain whose spec renames the output columns: plain items gain an
+/// `AS <name>` (that is how BindSql round-trips spec.union_names), while an
+/// aggregate output whose name differs from the union name is not
+/// expressible in the grammar (one alias per select item).
+std::string SqlBlock(const QueryBlock& block,
+                     const std::vector<std::string>* union_names, bool* ok) {
   std::vector<std::string> items;
-  for (const Attribute& a : block.projection) {
+  for (size_t k = 0; k < block.projection.size(); ++k) {
+    const Attribute& a = block.projection[k];
+    const std::string* union_name =
+        union_names != nullptr && k < union_names->size()
+            ? &(*union_names)[k]
+            : nullptr;
     if (a.qualified()) {
-      items.push_back(SqlAttr(a));
+      std::string item = SqlAttr(a);
+      if (union_name != nullptr && *union_name != a.name) {
+        item += " AS " + *union_name;
+      }
+      items.push_back(std::move(item));
       continue;
     }
     // An unqualified projection entry must be an aggregate output to print.
@@ -454,6 +469,10 @@ std::string SqlBlock(const QueryBlock& block, bool* ok) {
     if (block.agg.has_value()) {
       for (const AggCall& call : block.agg->calls) {
         if (call.out_name == a.name) {
+          if (union_name != nullptr && *union_name != call.out_name) {
+            *ok = false;
+            return "";
+          }
           items.push_back(StrCat(SqlAggFn(call.fn), "(", SqlAttr(call.arg),
                                  ") AS ", call.out_name));
           found = true;
@@ -510,7 +529,10 @@ std::string SpecToSql(const QuerySpec& spec) {
           i - 1 < spec.set_ops.size() ? spec.set_ops[i - 1] : SetOpKind::kUnion;
       sql += op == SetOpKind::kDifference ? " EXCEPT " : " UNION ";
     }
-    sql += SqlBlock(spec.blocks[i], &ok);
+    sql += SqlBlock(spec.blocks[i],
+                    i == 0 && !spec.union_names.empty() ? &spec.union_names
+                                                        : nullptr,
+                    &ok);
     if (!ok) return "";
   }
   return sql;

@@ -1,0 +1,455 @@
+/// \file service_test.cpp
+/// \brief The concurrent why-not service: admission control, snapshot
+/// isolation, watchdog cancellation, retry/backoff and exactly-once
+/// responses.
+///
+/// Built with -DNED_TSAN=ON these tests double as the ThreadSanitizer audit
+/// of the shared ExecContext state (atomic cancellation/step counters) and
+/// the service's queue/watchdog/catalog locking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "relational/catalog.h"
+#include "service/retry.h"
+#include "service/service.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+
+/// Two `n`-row relations whose cross join is the service's slow request:
+/// n*n joined rows, every row compatible, so early termination cannot help.
+Database MakeCrossJoinDb(int n) {
+  Database db;
+  std::string r = "a,ra\n", s = "b,sb\n";
+  for (int i = 0; i < n; ++i) {
+    r += std::to_string(i) + "," + std::to_string(i % 7) + "\n";
+    s += std::to_string(i) + "," + std::to_string(i % 5) + "\n";
+  }
+  NED_CHECK(db.LoadCsv("R", r).ok());
+  NED_CHECK(db.LoadCsv("S", s).ok());
+  return db;
+}
+
+std::shared_ptr<Catalog> MakeCatalog() {
+  auto catalog = std::make_shared<Catalog>();
+  NED_CHECK(catalog->Register("tiny", MakeTinyDb()).ok());
+  NED_CHECK(catalog->Register("big", MakeCrossJoinDb(1500)).ok());
+  return catalog;
+}
+
+WhyNotRequest TinyRequest(const std::string& key) {
+  WhyNotRequest req;
+  req.key = key;
+  req.db_name = "tiny";
+  req.sql = "SELECT R.v FROM R, S WHERE R.k = S.k";
+  CTuple tc;
+  tc.Add("R.v", Value::Str("c"));
+  req.question = WhyNotQuestion(tc);
+  return req;
+}
+
+/// A request that cannot finish inside its deadline: the service must come
+/// back with a flagged partial answer instead.
+WhyNotRequest SlowRequest(const std::string& key, int64_t deadline_ms) {
+  WhyNotRequest req;
+  req.key = key;
+  req.db_name = "big";
+  req.sql = "SELECT R.a FROM R, S WHERE R.a >= 0";
+  CTuple tc;
+  tc.Add("R.a", Value::Int(0));  // compatible: the join must materialise
+  req.question = WhyNotQuestion(tc);
+  req.deadline_ms = deadline_ms;
+  return req;
+}
+
+// ---- ExecContext under concurrency (the TSan audit target) -----------------
+
+TEST(ExecContextConcurrency, CancelAndCountersRaceFree) {
+  ExecContext ctx;
+  std::atomic<bool> done{false};
+  // A monitoring thread reads counters and eventually cancels, exactly like
+  // the service watchdog; the main thread hammers the hot checkpoint path.
+  std::thread watchdog([&] {
+    while (!done.load()) {
+      (void)ctx.steps();
+      (void)ctx.rows_charged();
+      (void)ctx.bytes_charged();
+      if (ctx.steps() > 50) ctx.RequestCancel();
+      std::this_thread::yield();
+    }
+  });
+  Status st = Status::OK();
+  for (int i = 0; i < 5'000'000 && st.ok(); ++i) {
+    ctx.ChargeRows(1);
+    ctx.ChargeBytes(8);
+    st = ctx.CheckEvery();
+  }
+  done.store(true);
+  watchdog.join();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+// ---- basic serving ---------------------------------------------------------
+
+TEST(Service, ServesASimpleRequest) {
+  ServiceOptions options;
+  options.workers = 2;
+  WhyNotService service(MakeCatalog(), options);
+  auto sub = service.Submit(TinyRequest("r1"));
+  ASSERT_TRUE(sub.status.ok()) << sub.status.ToString();
+  WhyNotResponse resp = sub.response.get();
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.answer.complete);
+  EXPECT_FALSE(resp.answer.condensed.empty());
+  EXPECT_EQ(resp.key, "r1");
+  EXPECT_EQ(resp.snapshot_version, 1u);
+  EXPECT_EQ(resp.attempt, 1);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(Service, BadSqlAndUnknownDbAreContainedPerRequest) {
+  WhyNotService service(MakeCatalog(), {});
+  // Unknown database: permanent rejection at admission.
+  WhyNotRequest bad_db = TinyRequest("bad-db");
+  bad_db.db_name = "nope";
+  auto sub = service.Submit(bad_db);
+  EXPECT_EQ(sub.status.code(), StatusCode::kNotFound);
+  // Broken SQL: contained failure response; the worker survives.
+  WhyNotRequest bad_sql = TinyRequest("bad-sql");
+  bad_sql.sql = "SELEC nonsense FROM";
+  auto sub2 = service.Submit(bad_sql);
+  ASSERT_TRUE(sub2.status.ok());
+  WhyNotResponse resp = sub2.response.get();
+  EXPECT_FALSE(resp.status.ok());
+  EXPECT_FALSE(resp.retryable());
+  // The same service still serves good requests afterwards.
+  auto sub3 = service.Submit(TinyRequest("good"));
+  ASSERT_TRUE(sub3.status.ok());
+  EXPECT_TRUE(sub3.response.get().status.ok());
+}
+
+// ---- deadline enforcement --------------------------------------------------
+
+TEST(Service, DeadlineCancelsMidEvaluation) {
+  ServiceOptions options;
+  options.workers = 1;
+  WhyNotService service(MakeCatalog(), options);
+  auto start = std::chrono::steady_clock::now();
+  auto sub = service.Submit(SlowRequest("slow", 50));
+  ASSERT_TRUE(sub.status.ok());
+  WhyNotResponse resp = sub.response.get();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.answer.complete);
+  EXPECT_TRUE(resp.answer.tripped == StatusCode::kDeadlineExceeded ||
+              resp.answer.tripped == StatusCode::kCancelled)
+      << StatusCodeName(resp.answer.tripped);
+  EXPECT_LT(elapsed.count(), 2000);
+}
+
+TEST(Service, WatchdogAloneBoundsARunawayEvaluation) {
+  // Disarm the cooperative in-context deadline: only the watchdog's
+  // RequestCancel can stop the cross join now.
+  ServiceOptions options;
+  options.workers = 1;
+  options.context_deadline = false;
+  options.watchdog_interval_ms = 1;
+  WhyNotService service(MakeCatalog(), options);
+  auto start = std::chrono::steady_clock::now();
+  auto sub = service.Submit(SlowRequest("runaway", 40));
+  ASSERT_TRUE(sub.status.ok());
+  WhyNotResponse resp = sub.response.get();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.answer.complete);
+  EXPECT_EQ(resp.answer.tripped, StatusCode::kCancelled);
+  EXPECT_LT(elapsed.count(), 2000);
+  EXPECT_GE(service.stats().watchdog_cancels, 1u);
+}
+
+// ---- admission control -----------------------------------------------------
+
+TEST(Service, OverloadShedsAtPinnedQueueWatermark) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  WhyNotService service(MakeCatalog(), options);
+  // One running + two queued slow requests pin the service at capacity.
+  std::vector<std::shared_future<WhyNotResponse>> futures;
+  std::vector<WhyNotService::Submission> accepted;
+  for (int i = 0; i < 8; ++i) {
+    auto sub = service.Submit(SlowRequest(StrCat("blk", i), 300));
+    if (sub.status.ok()) futures.push_back(sub.response);
+    accepted.push_back(std::move(sub));
+  }
+  // With 1 worker and queue 2, at most 3 can be in flight; the rest must be
+  // shed with a retryable status and a positive suggested backoff.
+  size_t shed = 0;
+  for (const auto& sub : accepted) {
+    if (sub.status.ok()) continue;
+    ++shed;
+    EXPECT_EQ(sub.status.code(), StatusCode::kUnavailable);
+    EXPECT_GT(sub.retry_after_ms, 0);
+  }
+  EXPECT_GE(shed, 5u);
+  EXPECT_LE(service.queue_depth(), options.queue_capacity);
+  for (auto& f : futures) f.get();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_EQ(stats.accepted, futures.size());
+  EXPECT_EQ(stats.completed, futures.size());
+}
+
+TEST(Service, MemoryWatermarkSheds) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  options.default_memory_budget = 1 << 20;
+  options.memory_watermark_bytes = 2 << 20;  // room for two requests
+  WhyNotService service(MakeCatalog(), options);
+  auto a = service.Submit(SlowRequest("m1", 200));
+  auto b = service.Submit(SlowRequest("m2", 200));
+  auto c = service.Submit(SlowRequest("m3", 200));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(c.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(c.retry_after_ms, 0);
+  a.response.get();
+  b.response.get();
+  service.Shutdown();
+  EXPECT_EQ(service.stats().shed_memory, 1u);
+}
+
+// ---- snapshot isolation ----------------------------------------------------
+
+TEST(Service, SnapshotIsolationAcrossConcurrentReload) {
+  auto catalog = MakeCatalog();
+  ServiceOptions options;
+  options.workers = 1;
+  WhyNotService service(catalog, options);
+  // Occupy the single worker so the target request sits queued across the
+  // reload; its snapshot was pinned at admission.
+  auto blocker = service.Submit(SlowRequest("blocker", 150));
+  ASSERT_TRUE(blocker.status.ok());
+  auto target = service.Submit(TinyRequest("target"));
+  ASSERT_TRUE(target.status.ok());
+  // Reload R so that the question's value exists: under the *new* snapshot
+  // the why-not answer would change shape entirely.
+  NED_CHECK(catalog
+                ->ReloadCsv("tiny", "R",
+                            "id,k,v\n1,10,c\n2,10,c\n3,10,c\n")
+                .ok());
+  EXPECT_EQ(catalog->VersionOf("tiny"), 2u);
+  WhyNotResponse resp = target.response.get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  // Ran after the reload, against the version-1 snapshot.
+  EXPECT_EQ(resp.snapshot_version, 1u);
+  EXPECT_FALSE(resp.answer.condensed.empty());
+  // A fresh submission sees version 2, where R.v = 'c' rows flow to the
+  // join: the selection-free query now yields survivors, answered by data.
+  auto post = service.Submit(TinyRequest("post-reload"));
+  ASSERT_TRUE(post.status.ok());
+  WhyNotResponse resp2 = post.response.get();
+  ASSERT_TRUE(resp2.status.ok()) << resp2.status.ToString();
+  EXPECT_EQ(resp2.snapshot_version, 2u);
+  EXPECT_NE(resp.answer.ToString(), resp2.answer.ToString());
+}
+
+// ---- retry / idempotency ---------------------------------------------------
+
+TEST(Service, RetryUntilSuccessUnderInjectedTransientFaults) {
+  WhyNotService service(MakeCatalog(), {});
+  WhyNotRequest req = TinyRequest("flaky");
+  req.inject_transient_failures = 3;
+  req.seed = 42;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 1;
+  RetryOutcome outcome = SubmitWithRetry(service, req, policy);
+  EXPECT_FALSE(outcome.exhausted);
+  EXPECT_TRUE(outcome.response.status.ok())
+      << outcome.response.status.ToString();
+  EXPECT_EQ(outcome.transients, 3);
+  EXPECT_EQ(outcome.attempts, 4);
+  EXPECT_EQ(outcome.response.attempt, 4);  // attempts span retries, per key
+  EXPECT_TRUE(outcome.response.answer.complete);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().transient_failures, 3u);
+}
+
+TEST(Service, RetryGivesUpAfterMaxAttempts) {
+  WhyNotService service(MakeCatalog(), {});
+  WhyNotRequest req = TinyRequest("always-flaky");
+  req.inject_transient_failures = 100;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  RetryOutcome outcome = SubmitWithRetry(service, req, policy);
+  EXPECT_TRUE(outcome.exhausted);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.response.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(Service, RetryJitterIsDeterministicPerRequestSeed) {
+  RetryPolicy policy;
+  Rng a(MixSeed(7, HashSeed("key-1")));
+  Rng b(MixSeed(7, HashSeed("key-1")));
+  Rng c(MixSeed(7, HashSeed("key-2")));
+  bool differs = false;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const int64_t ba = BackoffMs(policy, attempt, 0, a);
+    const int64_t bb = BackoffMs(policy, attempt, 0, b);
+    EXPECT_EQ(ba, bb);  // same request -> same schedule
+    if (ba != BackoffMs(policy, attempt, 0, c)) differs = true;
+  }
+  EXPECT_TRUE(differs);  // different keys de-synchronize
+}
+
+TEST(Service, IdempotentKeysDedupAndServeFromCache) {
+  ServiceOptions options;
+  options.workers = 1;
+  WhyNotService service(MakeCatalog(), options);
+  // Concurrent duplicates coalesce onto one execution.
+  auto blocker = service.Submit(SlowRequest("blocker", 120));
+  auto first = service.Submit(TinyRequest("dup"));
+  auto second = service.Submit(TinyRequest("dup"));
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(first.deduped);
+  EXPECT_TRUE(second.deduped);
+  WhyNotResponse r1 = first.response.get();
+  WhyNotResponse r2 = second.response.get();
+  EXPECT_EQ(r1.answer.ToString(), r2.answer.ToString());
+  // A duplicate after completion re-serves from cache without executing.
+  const uint64_t completed_before = service.stats().completed;
+  auto third = service.Submit(TinyRequest("dup"));
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.deduped);
+  EXPECT_EQ(third.response.get().answer.ToString(), r1.answer.ToString());
+  blocker.response.get();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.completed, completed_before);
+  EXPECT_EQ(stats.deduped_inflight, 1u);
+  EXPECT_EQ(stats.served_from_cache, 1u);
+}
+
+// ---- shutdown --------------------------------------------------------------
+
+TEST(Service, ShutdownWithInFlightRequestsLosesNothing) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.queue_capacity = 32;
+  WhyNotService service(MakeCatalog(), options);
+  std::vector<std::shared_future<WhyNotResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    auto sub = service.Submit(SlowRequest(StrCat("s", i), 5000));
+    ASSERT_TRUE(sub.status.ok());
+    futures.push_back(sub.response);
+  }
+  // Give the workers a moment to pick some up, then pull the plug without
+  // draining: running requests are cancelled, queued ones failed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service.Shutdown(/*drain=*/false);
+  size_t answered = 0, failed = 0;
+  for (auto& f : futures) {
+    WhyNotResponse resp = f.get();  // must never hang: nothing is lost
+    if (resp.status.ok()) {
+      ++answered;
+      EXPECT_FALSE(resp.answer.complete);  // cancelled mid-run -> partial
+    } else {
+      EXPECT_EQ(resp.status.code(), StatusCode::kUnavailable);
+      ++failed;
+    }
+  }
+  EXPECT_EQ(answered + failed, futures.size());
+  // Post-shutdown submissions are rejected, not lost.
+  auto late = service.Submit(TinyRequest("late"));
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.stats().rejected_shutdown, 1u);
+}
+
+TEST(Service, DrainShutdownCompletesQueuedWork) {
+  ServiceOptions options;
+  options.workers = 1;
+  WhyNotService service(MakeCatalog(), options);
+  std::vector<std::shared_future<WhyNotResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto sub = service.Submit(TinyRequest(StrCat("d", i)));
+    ASSERT_TRUE(sub.status.ok());
+    futures.push_back(sub.response);
+  }
+  service.Shutdown(/*drain=*/true);
+  for (auto& f : futures) {
+    WhyNotResponse resp = f.get();
+    EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_TRUE(resp.answer.complete);
+  }
+  EXPECT_EQ(service.stats().completed, 4u);
+}
+
+// ---- exactly-once under concurrent chaos -----------------------------------
+
+TEST(Service, ConcurrentMixedLoadDeliversExactlyOnce) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.queue_capacity = 8;
+  WhyNotService service(MakeCatalog(), options);
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 20;
+  std::atomic<uint64_t> finals{0}, failures{0}, exhausted{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(MixSeed(99, static_cast<uint64_t>(c)));
+      RetryPolicy policy;
+      policy.max_attempts = 50;
+      policy.initial_backoff_ms = 1;
+      policy.max_backoff_ms = 20;
+      for (int i = 0; i < kPerClient; ++i) {
+        WhyNotRequest req = TinyRequest(StrCat("x", c, "-", i));
+        req.seed = rng.Next();
+        if (rng.Chance(0.3)) {
+          req.inject_fault_at_step =
+              static_cast<uint64_t>(rng.UniformInt(1, 50));
+        }
+        if (rng.Chance(0.3)) {
+          req.inject_transient_failures =
+              static_cast<int>(rng.UniformInt(1, 2));
+        }
+        RetryOutcome outcome = SubmitWithRetry(service, req, policy);
+        finals.fetch_add(1);
+        if (outcome.exhausted) exhausted.fetch_add(1);
+        if (!outcome.exhausted && !outcome.response.status.ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Shutdown();
+  EXPECT_EQ(finals.load(), static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(exhausted.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.transient_failures);
+}
+
+}  // namespace
+}  // namespace ned

@@ -213,6 +213,24 @@ TEST(Binder, DefaultAggregateOutputName) {
   EXPECT_EQ(spec->blocks[0].agg->calls[0].out_name, "sum_id");
 }
 
+TEST(Binder, UnionAliasSetsOutputNames) {
+  // A first-block column alias under a set op renames the union's output
+  // columns (how Q12's "name" survives the SQL round-trip in the service).
+  Database db = MakeTinyDb();
+  auto ast = ParseSql("SELECT R.v AS out FROM R UNION SELECT S.w FROM S");
+  ASSERT_TRUE(ast.ok());
+  auto spec = BindSql(*ast, db);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->union_names.size(), 1u);
+  EXPECT_EQ(spec->union_names[0], "out");
+  // Single-block aliases stay inert: projection keeps attribute names.
+  auto single = ParseSql("SELECT R.v AS out FROM R");
+  ASSERT_TRUE(single.ok());
+  auto single_spec = BindSql(*single, db);
+  ASSERT_TRUE(single_spec.ok());
+  EXPECT_TRUE(single_spec->union_names.empty());
+}
+
 TEST(Binder, UnknownTableRejected) {
   Database db = MakeTinyDb();
   auto ast = ParseSql("SELECT x FROM nosuch");

@@ -1,0 +1,426 @@
+/// \file ned_stress.cpp
+/// \brief Chaos stress harness for the concurrent why-not service.
+///
+/// Drives N concurrent clients over the paper's 19 use cases plus generated
+/// differential workloads while injecting faults at every layer: engine
+/// checkpoint faults (deterministic InjectFailureAt), service transient
+/// faults (retryable kUnavailable), tight deadlines and budgets, admission
+/// sheds under a deliberately small queue, and concurrent copy-on-write
+/// catalog reloads. Asserts, at the end of the run:
+///
+///   - zero crashes (reaching the final report at all),
+///   - zero lost or duplicated responses: every submitted logical request
+///     produced exactly one final outcome, and the service's own books
+///     agree (accepted == completed + transient failures re-keyed),
+///   - every shed or transiently-failed request eventually succeeded via
+///     the retry policy (clients stop submitting new work at the horizon,
+///     so retries always find capacity),
+///   - bounded p99 latency: queue wait + execution stays within the largest
+///     request deadline plus scheduling slack.
+///
+/// Exit code 0 on success, 1 on any violated invariant. `--smoke` is the
+/// CI-sized run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datasets/use_cases.h"
+#include "relational/catalog.h"
+#include "service/retry.h"
+#include "service/service.h"
+#include "testing/workload.h"
+
+namespace {
+
+using ned::Catalog;
+using ned::Database;
+using ned::RetryOutcome;
+using ned::RetryPolicy;
+using ned::Rng;
+using ned::ServiceOptions;
+using ned::Status;
+using ned::StatusCode;
+using ned::WhyNotQuestion;
+using ned::WhyNotRequest;
+using ned::WhyNotService;
+
+struct Args {
+  int clients = 8;
+  int seconds = 10;
+  int workers = 4;
+  // Deliberately smaller than the default client count: clients block on
+  // their own requests, so sheds only happen when workers + queue < clients.
+  size_t queue = 3;
+  std::string inject = "all";  // all | none | engine | service
+  uint64_t seed = 1;
+  int scale = 1;
+  bool smoke = false;
+};
+
+/// One drivable scenario: a database name in the catalog + SQL + question.
+struct StressCase {
+  std::string name;
+  std::string db_name;
+  std::string sql;
+  WhyNotQuestion question;
+};
+
+/// Per-client tally, merged at the end.
+struct ClientTally {
+  uint64_t requests = 0;
+  uint64_t ok_complete = 0;
+  uint64_t ok_partial = 0;
+  uint64_t permanent_errors = 0;
+  uint64_t exhausted = 0;
+  uint64_t sheds_seen = 0;
+  uint64_t transients_seen = 0;
+  uint64_t retried_to_success = 0;
+  uint64_t duplicate_finals = 0;
+  std::vector<double> latencies_ms;  // queue + exec of final responses
+  /// Permanent-error diagnosis: "<case>: <status>" -> count. Printed on
+  /// failure so a violated zero-permanent-errors invariant names the culprit.
+  std::map<std::string, uint64_t> error_kinds;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::stoll(argv[++i]);
+      return true;
+    };
+    int64_t v = 0;
+    if (arg == "--clients" && next(&v)) {
+      args->clients = static_cast<int>(v);
+    } else if (arg == "--seconds" && next(&v)) {
+      args->seconds = static_cast<int>(v);
+    } else if (arg == "--workers" && next(&v)) {
+      args->workers = static_cast<int>(v);
+    } else if (arg == "--queue" && next(&v)) {
+      args->queue = static_cast<size_t>(v);
+    } else if (arg == "--seed" && next(&v)) {
+      args->seed = static_cast<uint64_t>(v);
+    } else if (arg == "--scale" && next(&v)) {
+      args->scale = static_cast<int>(v);
+    } else if (arg == "--inject") {
+      if (i + 1 >= argc) return false;
+      args->inject = argv[++i];
+    } else if (arg == "--smoke") {
+      args->smoke = true;
+      args->clients = 4;
+      args->seconds = 2;
+      args->workers = 2;
+      args->queue = 1;  // keep workers + queue < clients so sheds happen
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: ned_stress [--clients N] [--seconds S] "
+                   "[--workers W] [--queue Q] [--inject all|none|engine|"
+                   "service] [--seed S] [--scale K] [--smoke]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+/// A client thread: submits randomized requests with per-request seeds and
+/// chaos knobs until the horizon, retrying each one to completion.
+void ClientLoop(int client_id, const Args& args, WhyNotService* service,
+                const std::vector<StressCase>* cases,
+                std::chrono::steady_clock::time_point horizon,
+                ClientTally* tally, std::map<std::string, int>* finals,
+                std::mutex* finals_mu) {
+  Rng rng(ned::MixSeed(args.seed, static_cast<uint64_t>(client_id) + 1));
+  const bool inject_engine = args.inject == "all" || args.inject == "engine";
+  const bool inject_service = args.inject == "all" || args.inject == "service";
+  RetryPolicy policy;
+  policy.max_attempts = 60;  // generous: every request must finish eventually
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 50;
+  uint64_t n = 0;
+  int64_t max_deadline_ms = 0;
+  while (std::chrono::steady_clock::now() < horizon) {
+    const StressCase& c =
+        (*cases)[static_cast<size_t>(rng.Next() % cases->size())];
+    WhyNotRequest req;
+    req.key = ned::StrCat("c", client_id, "-r", n++);
+    req.db_name = c.db_name;
+    req.sql = c.sql;
+    req.question = c.question;
+    req.seed = ned::MixSeed(args.seed, ned::HashSeed(req.key));
+    // Mixed deadline regimes: mostly generous, sometimes tight enough that
+    // only a flagged partial answer can come back in time.
+    req.deadline_ms = rng.Chance(0.2) ? rng.UniformInt(5, 30)
+                                      : rng.UniformInt(200, 1000);
+    max_deadline_ms = std::max(max_deadline_ms, req.deadline_ms);
+    if (rng.Chance(0.15)) req.row_budget = static_cast<size_t>(
+        rng.UniformInt(10, 500));
+    if (inject_engine && rng.Chance(0.25)) {
+      req.inject_fault_at_step = static_cast<uint64_t>(rng.UniformInt(1, 200));
+    }
+    if (inject_service && rng.Chance(0.25)) {
+      req.inject_transient_failures = static_cast<int>(rng.UniformInt(1, 3));
+    }
+
+    RetryOutcome outcome = ned::SubmitWithRetry(*service, req, policy);
+    ++tally->requests;
+    tally->sheds_seen += static_cast<uint64_t>(outcome.sheds);
+    tally->transients_seen += static_cast<uint64_t>(outcome.transients);
+    {
+      // Exactly-once bookkeeping: one final outcome per key, globally.
+      std::lock_guard<std::mutex> lock(*finals_mu);
+      int& count = (*finals)[req.key];
+      ++count;
+      if (count > 1) ++tally->duplicate_finals;
+    }
+    if (outcome.exhausted) {
+      ++tally->exhausted;
+      continue;
+    }
+    if ((outcome.sheds > 0 || outcome.transients > 0) &&
+        outcome.response.status.ok()) {
+      ++tally->retried_to_success;
+    }
+    if (!outcome.response.status.ok()) {
+      ++tally->permanent_errors;
+      ++tally->error_kinds[ned::StrCat(c.name, ": ",
+                                       outcome.response.status.ToString())];
+      continue;
+    }
+    if (outcome.response.answer.complete) {
+      ++tally->ok_complete;
+    } else {
+      ++tally->ok_partial;
+    }
+    tally->latencies_ms.push_back(outcome.response.queue_ms +
+                                  outcome.response.exec_ms);
+  }
+  tally->latencies_ms.push_back(0);  // keep percentile well-defined
+  tally->latencies_ms.pop_back();
+  (void)max_deadline_ms;
+}
+
+/// A reloader thread: exercises copy-on-write reloads + swaps against the
+/// generated-workload databases while clients hammer them.
+void ReloaderLoop(Catalog* catalog, const std::vector<uint64_t>* wl_seeds,
+                  uint64_t seed,
+                  std::chrono::steady_clock::time_point horizon,
+                  std::atomic<uint64_t>* reloads) {
+  Rng rng(ned::MixSeed(seed, 0xC0FFEEULL));
+  while (std::chrono::steady_clock::now() < horizon) {
+    const uint64_t wl_seed = rng.Pick(*wl_seeds);
+    const std::string db_name = ned::StrCat("wl", wl_seed);
+    // Rebuild the same workload instance and swap it in: contents are
+    // equivalent, so any pinned snapshot stays a valid view.
+    ned::GenWorkload w = ned::MakeDiffWorkload(wl_seed);
+    Database db;
+    bool ok = true;
+    for (const auto& rel : w.relations) {
+      if (!db.AddRelation(rel).ok()) ok = false;
+    }
+    if (ok && catalog->SwapDatabase(db_name, std::move(db)).ok()) {
+      reloads->fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+int Run(const Args& args) {
+  // ---- build the catalog and the case list ---------------------------------
+  auto registry = ned::UseCaseRegistry::Build(args.scale);
+  if (!registry.ok()) {
+    std::cerr << "failed to build use cases: " << registry.status().ToString()
+              << "\n";
+    return 1;
+  }
+  auto catalog = std::make_shared<Catalog>();
+  for (const char* name : {"crime", "imdb", "gov"}) {
+    Database copy = registry->database(name);
+    NED_CHECK(catalog->Register(name, std::move(copy)).ok());
+  }
+  std::vector<StressCase> cases;
+  for (const ned::UseCase& uc : registry->use_cases()) {
+    cases.push_back({uc.name, uc.db_name, uc.sql, uc.question});
+  }
+  // Generated workloads widen the shape coverage beyond Table 4.
+  std::vector<uint64_t> wl_seeds;
+  for (uint64_t s = args.seed * 100 + 1; wl_seeds.size() < 8; ++s) {
+    ned::GenWorkload w = ned::MakeDiffWorkload(s);
+    const std::string sql = ned::SpecToSql(w.spec);
+    if (sql.empty()) continue;
+    Database db;
+    bool ok = true;
+    for (const auto& rel : w.relations) {
+      if (!db.AddRelation(rel).ok()) ok = false;
+    }
+    if (!ok) continue;
+    const std::string db_name = ned::StrCat("wl", s);
+    if (!catalog->Register(db_name, std::move(db)).ok()) continue;
+    cases.push_back({db_name, db_name, sql, w.question});
+    wl_seeds.push_back(s);
+  }
+  std::cout << "ned_stress: " << cases.size() << " cases ("
+            << registry->use_cases().size() << " paper use cases + "
+            << wl_seeds.size() << " generated), " << args.clients
+            << " clients, " << args.workers << " workers, queue "
+            << args.queue << ", " << args.seconds << "s, inject="
+            << args.inject << ", seed=" << args.seed << "\n";
+
+  // ---- spin up the service and the chaos -----------------------------------
+  ServiceOptions options;
+  options.workers = args.workers;
+  options.queue_capacity = args.queue;
+  options.default_deadline_ms = 2000;
+  options.default_memory_budget = 64u << 20;
+  options.memory_watermark_bytes =
+      static_cast<size_t>(args.workers + static_cast<int>(args.queue)) *
+      (64u << 20);
+  WhyNotService service(catalog, options);
+
+  const auto horizon = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(args.seconds);
+  std::vector<ClientTally> tallies(static_cast<size_t>(args.clients));
+  std::map<std::string, int> finals;
+  std::mutex finals_mu;
+  std::atomic<uint64_t> reloads{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < args.clients; ++c) {
+    threads.emplace_back(ClientLoop, c, std::cref(args), &service, &cases,
+                         horizon, &tallies[static_cast<size_t>(c)], &finals,
+                         &finals_mu);
+  }
+  std::thread reloader(ReloaderLoop, catalog.get(), &wl_seeds, args.seed,
+                       horizon, &reloads);
+  for (auto& t : threads) t.join();
+  reloader.join();
+  service.Shutdown(/*drain=*/true);
+
+  // ---- merge + check invariants --------------------------------------------
+  ClientTally total;
+  std::vector<double> latencies;
+  for (const ClientTally& t : tallies) {
+    total.requests += t.requests;
+    total.ok_complete += t.ok_complete;
+    total.ok_partial += t.ok_partial;
+    total.permanent_errors += t.permanent_errors;
+    total.exhausted += t.exhausted;
+    total.sheds_seen += t.sheds_seen;
+    total.transients_seen += t.transients_seen;
+    total.retried_to_success += t.retried_to_success;
+    total.duplicate_finals += t.duplicate_finals;
+    for (const auto& [kind, count] : t.error_kinds) {
+      total.error_kinds[kind] += count;
+    }
+    latencies.insert(latencies.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+  }
+  const WhyNotService::Stats stats = service.stats();
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+
+  std::cout << "requests          : " << total.requests << "\n"
+            << "  complete answers: " << total.ok_complete << "\n"
+            << "  partial answers : " << total.ok_partial << "\n"
+            << "  permanent errors: " << total.permanent_errors << "\n"
+            << "  retried->success: " << total.retried_to_success << "\n"
+            << "sheds encountered : " << total.sheds_seen << "\n"
+            << "transients        : " << total.transients_seen << "\n"
+            << "catalog reloads   : " << reloads.load() << "\n"
+            << "service: submitted=" << stats.submitted
+            << " accepted=" << stats.accepted
+            << " shed_queue=" << stats.shed_queue_full
+            << " shed_mem=" << stats.shed_memory
+            << " completed=" << stats.completed
+            << " transient_injected=" << stats.transient_failures
+            << " watchdog_cancels=" << stats.watchdog_cancels << "\n"
+            << "latency ms        : p50=" << p50 << " p99=" << p99 << "\n";
+
+  int failures = 0;
+  auto fail = [&failures](const std::string& what) {
+    std::cerr << "INVARIANT VIOLATED: " << what << "\n";
+    ++failures;
+  };
+  if (total.duplicate_finals != 0) {
+    fail(ned::StrCat(total.duplicate_finals,
+                     " keys produced more than one final outcome"));
+  }
+  // No lost responses: every logical request got exactly one final outcome.
+  {
+    std::lock_guard<std::mutex> lock(finals_mu);
+    if (finals.size() != total.requests) {
+      fail(ned::StrCat("finals map has ", finals.size(), " keys for ",
+                       total.requests, " requests"));
+    }
+  }
+  // Every shed/transient request eventually succeeded through retry:
+  // exhaustion means the backoff contract failed.
+  if (total.exhausted != 0) {
+    fail(ned::StrCat(total.exhausted, " requests exhausted their retries"));
+  }
+  // Admission control must actually be exercised: clients block on their own
+  // requests, so whenever more clients than service capacity exist the queue
+  // has to overflow at some point during the run.
+  if (static_cast<size_t>(args.clients) >
+          static_cast<size_t>(args.workers) + args.queue &&
+      stats.shed_queue_full == 0) {
+    fail(ned::StrCat("no queue sheds despite ", args.clients,
+                     " clients against capacity ",
+                     static_cast<size_t>(args.workers) + args.queue));
+  }
+  // Permanent errors should not occur: every case compiles by construction.
+  if (total.permanent_errors != 0) {
+    fail(ned::StrCat(total.permanent_errors, " permanent request errors"));
+    for (const auto& [kind, count] : total.error_kinds) {
+      std::cerr << "  " << count << "x " << kind << "\n";
+    }
+  }
+  // Service books must balance: accepted requests all completed or failed
+  // transiently (each transient is a separate accepted execution).
+  if (stats.accepted != stats.completed + stats.transient_failures) {
+    fail(ned::StrCat("accepted=", stats.accepted, " != completed=",
+                     stats.completed, " + transients=",
+                     stats.transient_failures));
+  }
+  // Bounded tail latency: an accepted request's end-to-end time is capped
+  // by its deadline (queue wait included); allow scheduling + checkpoint
+  // overshoot slack.
+  const double latency_bound_ms = 1000 + 500;
+  if (p99 > latency_bound_ms) {
+    fail(ned::StrCat("p99 latency ", p99, " ms exceeds bound ",
+                     latency_bound_ms, " ms"));
+  }
+  if (total.requests == 0) fail("no requests completed");
+
+  if (failures == 0) {
+    std::cout << "ned_stress: PASS (zero crashes, exactly-once responses, "
+                 "all retries converged, p99 bounded)\n";
+    return 0;
+  }
+  std::cerr << "ned_stress: FAIL (" << failures << " violations)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  return Run(args);
+}
