@@ -92,6 +92,11 @@ int main(int argc, char** argv) {
     // Deep queue: this measures execution scaling, not admission control.
     options.queue_capacity = static_cast<size_t>(requests) + 1;
     options.default_deadline_ms = 60'000;
+    // Caches off: repeated use cases would otherwise be served at Submit
+    // and this would measure the cache, not the workers (bench_cache does
+    // that on purpose).
+    options.answer_cache_bytes = 0;
+    options.subtree_cache_bytes = 0;
     WhyNotService service(catalog, options);
 
     // Warm-up pass so first-touch costs don't land on worker-count 1.

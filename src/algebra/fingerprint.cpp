@@ -1,0 +1,153 @@
+#include "algebra/fingerprint.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace ned {
+
+namespace {
+
+std::string FingerprintAttribute(const Attribute& attr) {
+  // FullName is "qualifier.name"; length-prefix so generated names cannot
+  // collide with the surrounding separators.
+  std::string full = attr.FullName();
+  return StrCat(full.size(), ":", full);
+}
+
+std::string FingerprintSchema(const Schema& schema) {
+  std::string out = "[";
+  for (size_t i = 0; i < schema.attributes().size(); ++i) {
+    if (i > 0) out += ",";
+    out += FingerprintAttribute(schema.attributes()[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string FingerprintValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "n:";
+    case ValueType::kInt:
+      return StrCat("i:", value.as_int());
+    case ValueType::kDouble: {
+      // %.17g round-trips every double exactly.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", value.as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return StrCat("s:", value.as_string().size(), ":", value.as_string());
+  }
+  return "?";
+}
+
+std::string FingerprintExpression(const Expression* expr) {
+  if (expr == nullptr) return "-";
+  if (const auto* col = dynamic_cast<const ColumnRef*>(expr)) {
+    return StrCat("col(", FingerprintAttribute(col->attribute()), ")");
+  }
+  if (const auto* lit = dynamic_cast<const Literal*>(expr)) {
+    return StrCat("lit(", FingerprintValue(lit->value()), ")");
+  }
+  if (const auto* cmp = dynamic_cast<const Comparison*>(expr)) {
+    return StrCat("cmp(", CompareOpSymbol(cmp->op()), ",",
+                  FingerprintExpression(cmp->left().get()), ",",
+                  FingerprintExpression(cmp->right().get()), ")");
+  }
+  if (const auto* conj = dynamic_cast<const Conjunction*>(expr)) {
+    std::string out = "and(";
+    for (const auto& t : conj->terms()) {
+      out += FingerprintExpression(t.get());
+      out += ";";
+    }
+    out += ")";
+    return out;
+  }
+  if (const auto* disj = dynamic_cast<const Disjunction*>(expr)) {
+    std::string out = "or(";
+    for (const auto& t : disj->terms()) {
+      out += FingerprintExpression(t.get());
+      out += ";";
+    }
+    out += ")";
+    return out;
+  }
+  if (const auto* neg = dynamic_cast<const Not*>(expr)) {
+    return StrCat("not(", FingerprintExpression(neg->inner().get()), ")");
+  }
+  // Unknown subclass: fall back to ToString, still wrapped so it cannot be
+  // confused with any tagged form above.
+  return StrCat("other(", expr->ToString(), ")");
+}
+
+std::string NodeFingerprint(const OperatorNode& node) {
+  std::string out = OpKindName(node.kind);
+  out += "[";
+  switch (node.kind) {
+    case OpKind::kScan:
+      // Alias + base table + resolved schema. Including the schema means two
+      // scans of same-named (but structurally different) relations in
+      // different databases cannot collide even when both relations carry
+      // data-version 0 (e.g. empty relations never touched by AddRow).
+      out += StrCat("a=", node.alias.size(), ":", node.alias, ";t=",
+                    node.base_table.size(), ":", node.base_table,
+                    ";s=", FingerprintSchema(node.output_schema));
+      break;
+    case OpKind::kSelect:
+      out += StrCat("p=", FingerprintExpression(node.predicate.get()));
+      break;
+    case OpKind::kProject: {
+      out += "a=";
+      for (const Attribute& a : node.projection) {
+        out += FingerprintAttribute(a);
+        out += ",";
+      }
+      break;
+    }
+    case OpKind::kJoin:
+    case OpKind::kUnion:
+    case OpKind::kDifference: {
+      out += "r=";
+      for (const RenameTriple& t : node.renaming.triples()) {
+        out += StrCat(FingerprintAttribute(t.a1), "|",
+                      FingerprintAttribute(t.a2), "|", t.anew.size(), ":",
+                      t.anew, ",");
+      }
+      out += StrCat(";x=", FingerprintExpression(node.extra_predicate.get()));
+      break;
+    }
+    case OpKind::kAggregate: {
+      out += "g=";
+      for (const Attribute& a : node.group_by) {
+        out += FingerprintAttribute(a);
+        out += ",";
+      }
+      out += ";f=";
+      for (const AggCall& c : node.aggregates) {
+        out += StrCat(AggFnName(c.fn), "(", FingerprintAttribute(c.arg),
+                      ")->", c.out_name.size(), ":", c.out_name, ",");
+      }
+      break;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+std::string SubtreeFingerprint(const OperatorNode& node) {
+  std::string out = "(";
+  out += NodeFingerprint(node);
+  for (const auto& child : node.children) {
+    out += ";";
+    out += SubtreeFingerprint(*child);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ned

@@ -1,0 +1,51 @@
+/// \file fingerprint.h
+/// \brief Stable structural fingerprints of expressions and operator subtrees.
+///
+/// A fingerprint is a canonical string that two expressions / subtrees share
+/// exactly when they are structurally identical: same operator kinds, same
+/// conditions (with *type-tagged* literals, so the integer 800 and the string
+/// "800" never collide even though Value::ToString renders both as "800"),
+/// same projections, renamings, grouping and aggregation, same scan aliases
+/// and base tables, in the same shape. The caching layer (src/cache/) keys
+/// memoized subtree results on these fingerprints plus the data versions of
+/// the relations the subtree reads; see docs/CACHING.md for the derivation.
+///
+/// Full strings are used instead of 64-bit hashes on purpose: keys stay
+/// collision-proof by construction, and the LRU's byte accounting charges
+/// them honestly.
+
+#ifndef NED_ALGEBRA_FINGERPRINT_H_
+#define NED_ALGEBRA_FINGERPRINT_H_
+
+#include <string>
+
+#include "algebra/operator.h"
+#include "expr/expression.h"
+#include "relational/value.h"
+
+namespace ned {
+
+/// Type-tagged value rendering: "i:800", "d:8.5e2", "s:3:800", "n:" (NULL).
+/// Strings are length-prefixed so no payload can forge the separators.
+std::string FingerprintValue(const Value& value);
+
+/// Canonical expression rendering over the Expression hierarchy. nullptr
+/// (e.g. an absent extra_predicate) renders as "-". Unlike
+/// Expression::ToString this is unambiguous: literals are type-tagged and
+/// every connective carries its own bracket structure.
+std::string FingerprintExpression(const Expression* expr);
+
+/// One node's *local* descriptor: kind plus the per-kind payload (predicate,
+/// projection, renaming triples, extra predicate, group-by, aggregates, and
+/// for scans the alias, base table and output schema). Children are NOT
+/// included -- compose with SubtreeFingerprint for the structural key.
+std::string NodeFingerprint(const OperatorNode& node);
+
+/// Recursive structural fingerprint of the subtree rooted at `node`:
+/// "(<local>;<child1>;<child2>)". Stable across rebuilds of the same query
+/// (canonicalization is deterministic) and across processes.
+std::string SubtreeFingerprint(const OperatorNode& node);
+
+}  // namespace ned
+
+#endif  // NED_ALGEBRA_FINGERPRINT_H_

@@ -1,0 +1,96 @@
+#include "cache/answer_cache.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ned {
+
+namespace {
+
+size_t ApproxStringsBytes(const std::vector<std::string>& v) {
+  size_t bytes = sizeof(v) + v.size() * sizeof(std::string);
+  for (const std::string& s : v) bytes += s.size();
+  return bytes;
+}
+
+size_t ApproxAnswerBytes(const CachedAnswer& a) {
+  return sizeof(CachedAnswer) + ApproxStringsBytes(a.summary.detailed) +
+         ApproxStringsBytes(a.summary.condensed) +
+         ApproxStringsBytes(a.summary.secondary) +
+         a.summary.completeness.size();
+}
+
+}  // namespace
+
+std::string NormalizeSqlText(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_string) {
+      out += c;
+      if (c == '\'') in_string = false;
+      continue;
+    }
+    if (c == '\'') {
+      if (pending_space && !out.empty()) out += ' ';
+      pending_space = false;
+      out += c;
+      in_string = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out += ' ';
+    pending_space = false;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string MakeAnswerCacheKey(const std::string& db_name,
+                               uint64_t snapshot_version,
+                               const std::string& sql,
+                               const std::string& question_text,
+                               size_t row_budget, size_t memory_budget,
+                               uint32_t option_bits) {
+  // Every variable-length field is length-prefixed, so no crafted SQL or
+  // question text can alias another key.
+  const std::string norm = NormalizeSqlText(sql);
+  return StrCat("db=", db_name.size(), ":", db_name, "|v=", snapshot_version,
+                "|q=", norm.size(), ":", norm, "|w=", question_text.size(),
+                ":", question_text, "|rb=", row_budget, "|mb=", memory_budget,
+                "|o=", option_bits);
+}
+
+AnswerCache::Ptr AnswerCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = lru_.Get(key);
+  return hit.has_value() ? *hit : nullptr;
+}
+
+void AnswerCache::Insert(const std::string& key, Ptr answer) {
+  if (answer == nullptr) return;
+  const size_t bytes = ApproxAnswerBytes(*answer);
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.Put(key, std::move(answer), bytes);
+}
+
+void AnswerCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.Clear();
+}
+
+LruStats AnswerCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.stats();
+}
+
+}  // namespace ned

@@ -1,0 +1,84 @@
+/// \file answer_cache.h
+/// \brief Content-addressed cache of complete why-not answers.
+///
+/// Distinct from the service's idempotency-key cache: that one maps a
+/// *request key* to the response already produced for it (exactly-once
+/// delivery); this one maps the request's *content* -- (db name, catalog
+/// snapshot version, normalized SQL, why-not question, budgets class,
+/// engine-option bits) -- to an AnswerSummary, so a brand-new request key
+/// asking an already-answered question is served without admission, queueing
+/// or evaluation. Embedding the snapshot version in the key makes ReloadCsv /
+/// SwapDatabase invalidation automatic: a bumped catalog version simply stops
+/// producing the old keys, and stale entries age out of the LRU.
+///
+/// Only *complete* answers are ever inserted (completeness == full). A
+/// partial answer reflects the budgets and deadline of the run that produced
+/// it, not the data, and must never be replayed as authoritative; see
+/// docs/CACHING.md.
+
+#ifndef NED_CACHE_ANSWER_CACHE_H_
+#define NED_CACHE_ANSWER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cache/lru.h"
+#include "core/report.h"
+
+namespace ned {
+
+/// Whitespace-collapsed, case-folded (outside single-quoted string literals)
+/// SQL text, with trailing semicolons dropped. Two spellings of one query --
+/// "SELECT  R.v FROM R" vs "select r.v from r" -- normalize identically;
+/// string literals keep their exact bytes and case.
+std::string NormalizeSqlText(const std::string& sql);
+
+/// Builds the content key. `question_text` is WhyNotQuestion::ToString();
+/// `option_bits` packs the engine options that change the answer
+/// (early termination changes nothing semantically but compute_secondary
+/// adds answer parts, so both are keyed for bit-identical replay). Budgets
+/// are the *resolved* per-request values -- requests in different budget
+/// classes never share an entry, because a larger budget can turn a partial
+/// answer into a complete one.
+std::string MakeAnswerCacheKey(const std::string& db_name,
+                               uint64_t snapshot_version,
+                               const std::string& sql,
+                               const std::string& question_text,
+                               size_t row_budget, size_t memory_budget,
+                               uint32_t option_bits);
+
+/// One cached complete answer plus the snapshot version it was computed on
+/// (kept for auditing; the key already pins it).
+struct CachedAnswer {
+  AnswerSummary summary;
+  uint64_t snapshot_version = 0;
+};
+
+/// Shared, bounded, thread-safe answer cache.
+class AnswerCache {
+ public:
+  using Ptr = std::shared_ptr<const CachedAnswer>;
+
+  explicit AnswerCache(size_t byte_budget) : lru_(byte_budget) {}
+
+  /// Returns the cached answer for `key`, or nullptr on a miss.
+  Ptr Lookup(const std::string& key);
+
+  /// Caches a complete answer. Callers must enforce the completeness gate
+  /// (the service asserts summary.complete before inserting).
+  void Insert(const std::string& key, Ptr answer);
+
+  void Clear();
+
+  LruStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  ByteBudgetLru<Ptr> lru_;
+};
+
+}  // namespace ned
+
+#endif  // NED_CACHE_ANSWER_CACHE_H_

@@ -1,0 +1,29 @@
+#include "cache/subtree_cache.h"
+
+namespace ned {
+
+SubtreeCache::Rows SubtreeCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hit = lru_.Get(key);
+  return hit.has_value() ? *hit : nullptr;
+}
+
+void SubtreeCache::Insert(const std::string& key, Rows rows) {
+  if (rows == nullptr) return;
+  size_t bytes = sizeof(std::vector<TraceTuple>);
+  for (const TraceTuple& t : *rows) bytes += ApproxTraceTupleBytes(t);
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.Put(key, std::move(rows), bytes);
+}
+
+void SubtreeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.Clear();
+}
+
+LruStats SubtreeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.stats();
+}
+
+}  // namespace ned

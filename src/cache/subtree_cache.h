@@ -1,0 +1,69 @@
+/// \file subtree_cache.h
+/// \brief Memoized materialized outputs of evaluator subtrees.
+///
+/// The evaluator keys each non-leaf operator's output on the structural
+/// fingerprint of its subtree (algebra/fingerprint.h) composed with the node
+/// ordinals of the TabQ order and the data-version stamps of every relation
+/// the subtree scans (Relation::data_version). Because the rid scheme is
+/// deterministic per (node ordinal, row index), a cached output -- values,
+/// rids, preds and lineage alike -- is bit-identical to what recomputation
+/// would produce, so hits are safe for the whole NedExplain pass including
+/// successor tracing. Key derivation and the invalidation argument live in
+/// docs/CACHING.md.
+///
+/// Thread-safe: one mutex around the LRU; values are shared_ptr-to-const so
+/// an eviction never invalidates rows an in-flight evaluation still holds.
+
+#ifndef NED_CACHE_SUBTREE_CACHE_H_
+#define NED_CACHE_SUBTREE_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/lru.h"
+#include "exec/lineage.h"
+
+namespace ned {
+
+/// Approximate footprint of one materialized TraceTuple. Intentionally the
+/// same formula the evaluator charges against ExecContext memory budgets, so
+/// "bytes cached" and "bytes charged" speak the same currency.
+inline size_t ApproxTraceTupleBytes(const TraceTuple& t) {
+  return sizeof(TraceTuple) + t.values.size() * sizeof(Value) +
+         t.lineage.size() * sizeof(TupleId) + t.preds.size() * sizeof(Rid);
+}
+
+/// Shared, bounded cache of materialized subtree outputs.
+class SubtreeCache {
+ public:
+  using Rows = std::shared_ptr<const std::vector<TraceTuple>>;
+
+  explicit SubtreeCache(size_t byte_budget) : lru_(byte_budget) {}
+
+  /// A zero-budget cache is disabled: the evaluator skips key derivation
+  /// entirely, so attaching one is byte-for-byte the cache-free baseline
+  /// (even under NED_FORCE_SUBTREE_CACHE, which only replaces a null cache).
+  bool enabled() const { return lru_.byte_budget() > 0; }
+
+  /// Returns the cached output for `key`, or nullptr on a miss.
+  Rows Lookup(const std::string& key);
+
+  /// Caches `rows` under `key`. No-op (counted as rejected) when the rows
+  /// exceed the whole budget.
+  void Insert(const std::string& key, Rows rows);
+
+  /// Drops every entry (stats other than occupancy are preserved).
+  void Clear();
+
+  LruStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  ByteBudgetLru<Rows> lru_;
+};
+
+}  // namespace ned
+
+#endif  // NED_CACHE_SUBTREE_CACHE_H_

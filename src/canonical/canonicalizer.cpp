@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "algebra/fingerprint.h"
 #include "common/strings.h"
 
 namespace ned {
@@ -446,6 +447,13 @@ Result<QueryTree> Canonicalize(const QuerySpec& spec, const Database& db,
     }
   }
   return QueryTree::Create(std::move(root), db);
+}
+
+Result<std::string> CanonicalFingerprint(const QuerySpec& spec,
+                                         const Database& db,
+                                         const CanonicalizeOptions& options) {
+  NED_ASSIGN_OR_RETURN(QueryTree tree, Canonicalize(spec, db, options));
+  return SubtreeFingerprint(*tree.root());
 }
 
 }  // namespace ned

@@ -43,6 +43,16 @@ Result<std::unique_ptr<OperatorNode>> CanonicalizeBlock(
 Result<QueryTree> Canonicalize(const QuerySpec& spec, const Database& db,
                                const CanonicalizeOptions& options = {});
 
+/// Structural fingerprint of `spec`'s canonical tree over `db` (the whole
+/// tree's SubtreeFingerprint; algebra/fingerprint.h). Two specs with equal
+/// fingerprints canonicalize to structurally identical trees, so their
+/// evaluations share every subtree-cache entry -- the cache tests use this
+/// to prove fingerprint distinctness for same-shape/different-condition
+/// queries without touching evaluator internals.
+Result<std::string> CanonicalFingerprint(
+    const QuerySpec& spec, const Database& db,
+    const CanonicalizeOptions& options = {});
+
 }  // namespace ned
 
 #endif  // NED_CANONICAL_CANONICALIZER_H_

@@ -6,6 +6,10 @@
 #include "common/strings.h"
 #include "expr/satisfiability.h"
 
+#ifdef NED_FORCE_SUBTREE_CACHE
+#include "cache/subtree_cache.h"
+#endif
+
 namespace ned {
 
 std::string ResultCompleteness::ToString() const {
@@ -164,6 +168,16 @@ Result<NedExplainEngine> NedExplainEngine::Create(const QueryTree* tree,
   engine.tree_ = tree;
   engine.db_ = db;
   engine.options_ = options;
+#ifdef NED_FORCE_SUBTREE_CACHE
+  // The CI cache-enabled configuration: every engine that would run
+  // cache-free shares one process-global cache instead, so the entire test
+  // suite exercises hit replay. Bit-identity of hits (docs/CACHING.md) is
+  // what makes this transparent.
+  if (engine.options_.subtree_cache == nullptr) {
+    static SubtreeCache* forced = new SubtreeCache(256u << 20);
+    engine.options_.subtree_cache = forced;
+  }
+#endif
   NED_ASSIGN_OR_RETURN(engine.breakpoint_, DetermineBreakpoint(*tree));
   for (const OperatorNode* node : tree->bottom_up()) {
     if (node->kind == OpKind::kAggregate) {
@@ -203,7 +217,8 @@ Result<NedExplainResult> NedExplainEngine::Explain(
       return result;
     }
     input = std::make_shared<QueryInput>(std::move(built).value());
-    evaluator = std::make_unique<Evaluator>(tree_, input.get(), ctx);
+    evaluator = std::make_unique<Evaluator>(tree_, input.get(), ctx,
+                                            options_.subtree_cache);
     NED_ASSIGN_OR_RETURN(result.unrenamed, UnrenameQuestion(*tree_, question));
   }
   last_input_ = input;
@@ -234,6 +249,8 @@ Result<NedExplainResult> NedExplainEngine::Explain(
     ++result.completeness.ctuples_finished;
     result.per_ctuple.push_back(std::move(part));
   }
+  result.subtree_cache_hits = evaluator->cache_hits();
+  result.subtree_cache_misses = evaluator->cache_misses();
   return result;
 }
 

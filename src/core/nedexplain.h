@@ -28,6 +28,8 @@
 
 namespace ned {
 
+class SubtreeCache;
+
 /// Tuning knobs, mostly for ablation benchmarks.
 struct NedExplainOptions {
   /// Alg. 2: stop the traversal once no compatible tuple can be traced
@@ -38,6 +40,11 @@ struct NedExplainOptions {
   /// Record a Table-2 style TabQ dump per c-tuple (costs formatting time;
   /// keep off in benchmarks).
   bool keep_tabq_dump = false;
+  /// Shared memo of materialized subtree outputs (cache/subtree_cache.h).
+  /// nullptr = recompute everything, the pre-caching behaviour. The cache
+  /// only ever returns bit-identical outputs (keys pin structure + data
+  /// versions), so answers are unchanged -- the differential sweep proves it.
+  SubtreeCache* subtree_cache = nullptr;
 };
 
 /// How much of an answer survived a resource-governed run (tentpole of the
@@ -93,6 +100,11 @@ struct NedExplainResult {
   size_t indir_total = 0;  ///< |InDir| summed over c-tuples
   /// Whether the run finished, or which budget stopped it where.
   ResultCompleteness completeness;
+  /// Subtree-cache traffic of this run (both 0 when no cache is attached).
+  /// A warm repeat of the same question on the same snapshot shows
+  /// misses == 0 -- the counter the cache tests and bench_cache read.
+  size_t subtree_cache_hits = 0;
+  size_t subtree_cache_misses = 0;
 };
 
 /// The NedExplain engine, bound to one (query, database) pair.

@@ -34,6 +34,8 @@ AnswerSummary SummarizeResult(const NedExplainEngine& engine,
   summary.complete = result.completeness.complete;
   summary.tripped = result.completeness.tripped;
   summary.completeness = result.completeness.ToString();
+  summary.subtree_cache_hits = result.subtree_cache_hits;
+  summary.subtree_cache_misses = result.subtree_cache_misses;
   return summary;
 }
 

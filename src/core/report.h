@@ -28,6 +28,13 @@ struct AnswerSummary {
   StatusCode tripped = StatusCode::kOk;
   /// ResultCompleteness::ToString() of the run.
   std::string completeness;
+  /// Subtree-cache traffic of the run that produced this answer (both 0
+  /// when no cache was attached). Note these describe the *computation*,
+  /// not the answer content: the answer-cache key deliberately excludes
+  /// them, and a summary replayed from the answer cache reports the
+  /// original run's counters.
+  size_t subtree_cache_hits = 0;
+  size_t subtree_cache_misses = 0;
 
   bool empty() const {
     return detailed.empty() && condensed.empty() && secondary.empty();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "algebra/fingerprint.h"
+#include "cache/subtree_cache.h"
 #include "common/strings.h"
 
 namespace ned {
@@ -21,6 +23,7 @@ Result<QueryInput> QueryInput::Build(const QueryTree& tree, const Database& db,
     AliasData data;
     data.schema = scan->output_schema;
     data.ordinal = ordinal;
+    data.data_version = rel->data_version();
     data.tuples.reserve(rel->size());
     for (size_t row = 0; row < rel->size(); ++row) {
       NED_EXEC_TICK(ctx);
@@ -199,28 +202,88 @@ Result<std::vector<Tuple>> ComputeAggregateTuples(
 // Evaluator
 // ---------------------------------------------------------------------------
 
+const std::string& Evaluator::CacheKeyFor(const OperatorNode* node) {
+  auto it = cache_keys_.find(node);
+  if (it != cache_keys_.end()) return it->second;
+  std::string key = StrCat("(", NodeFingerprint(*node), "#o",
+                           node_ordinal_.at(node));
+  if (node->is_leaf()) {
+    // Pin the alias ordinal (it determines base rids) and the backing
+    // relation's data version (it determines rows); together with the
+    // schema inside NodeFingerprint, a scan key changes whenever anything
+    // observable about the scan output can change.
+    size_t alias_ordinal = 0;
+    const auto& order = input_->aliases();
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == node->alias) {
+        alias_ordinal = i;
+        break;
+      }
+    }
+    key += StrCat("#a", alias_ordinal, "#v",
+                  input_->AliasDataVersion(alias_ordinal));
+  }
+  for (const auto& child : node->children) {
+    key += ";";
+    key += CacheKeyFor(child.get());
+  }
+  key += ")";
+  auto [pos, _] = cache_keys_.emplace(node, std::move(key));
+  return pos->second;
+}
+
 Result<const std::vector<TraceTuple>*> Evaluator::EvalNode(
     const OperatorNode* node) {
   auto it = outputs_.find(node);
-  if (it != outputs_.end()) return &it->second;
+  if (it != outputs_.end()) return it->second.get();
   // Operator boundary: a governed evaluation re-checks its limits before
   // descending into (and after finishing) each operator.
   NED_RETURN_NOT_OK(CheckExec(ctx_));
+  const bool cacheable =
+      cache_ != nullptr && cache_->enabled() && !node->is_leaf();
+  if (cacheable) {
+    if (Rows hit = cache_->Lookup(CacheKeyFor(node))) {
+      // Replay the exact charges recomputation would make, tick-checked so
+      // a governed run can still trip its budgets mid-hit. On a trip the
+      // node stays unevaluated (outputs_ untouched) -- same observable
+      // state as a trip during Compute.
+      for (const TraceTuple& t : *hit) {
+        NED_EXEC_TICK(ctx_);
+        ChargeTuple(t);
+      }
+      // Post-replay boundary check, symmetric with the post-Compute one
+      // below: without it a pure-hit evaluation could blow its row budget
+      // and return OK because no later checkpoint ever runs.
+      NED_RETURN_NOT_OK(CheckExec(ctx_));
+      tuples_produced_ += hit->size();
+      ++cache_hits_;
+      auto [pos, _] = outputs_.emplace(node, std::move(hit));
+      return pos->second.get();
+    }
+    ++cache_misses_;
+  }
   for (const auto& child : node->children) {
     auto child_result = EvalNode(child.get());
     if (!child_result.ok()) return child_result.status();
   }
+  // Deterministic rid layout: each node's output rows take rids base+0,
+  // base+1, ... regardless of evaluation order, so cached outputs replay
+  // verbatim. Children finished computing above, so re-seeding the counter
+  // here cannot interleave with theirs.
+  next_rid_ = RidBaseFor(node);
   NED_ASSIGN_OR_RETURN(std::vector<TraceTuple> out, Compute(node));
   tuples_produced_ += out.size();
   NED_RETURN_NOT_OK(CheckExec(ctx_));
-  auto [pos, _] = outputs_.emplace(node, std::move(out));
-  return &pos->second;
+  Rows rows = std::make_shared<const std::vector<TraceTuple>>(std::move(out));
+  if (cacheable) cache_->Insert(CacheKeyFor(node), rows);
+  auto [pos, _] = outputs_.emplace(node, std::move(rows));
+  return pos->second.get();
 }
 
 const std::vector<TraceTuple>* Evaluator::TryGetOutput(
     const OperatorNode* node) const {
   auto it = outputs_.find(node);
-  return it == outputs_.end() ? nullptr : &it->second;
+  return it == outputs_.end() ? nullptr : it->second.get();
 }
 
 Result<std::vector<const std::vector<TraceTuple>*>> Evaluator::InputsOf(

@@ -8,7 +8,12 @@
 ///
 /// Evaluator computes each node's output on demand (memoized), which lets
 /// NedExplain drive evaluation bottom-up and stop early (Alg. 2) without ever
-/// touching operators above the termination point.
+/// touching operators above the termination point. With a SubtreeCache
+/// attached, memoization extends across evaluator instances: outputs are
+/// keyed by subtree fingerprint + node ordinals + scanned-relation data
+/// versions, and rids are deterministic per (node ordinal, row), so a hit is
+/// bit-identical -- values, rids, preds, lineage -- to recomputation (the
+/// property the differential cache sweep asserts; see docs/CACHING.md).
 
 #ifndef NED_EXEC_EVALUATOR_H_
 #define NED_EXEC_EVALUATOR_H_
@@ -24,6 +29,8 @@
 #include "exec/lineage.h"
 
 namespace ned {
+
+class SubtreeCache;
 
 /// The materialised query input instance I_Q.
 class QueryInput {
@@ -41,6 +48,13 @@ class QueryInput {
   /// Aliases in scan (bottom-up) order.
   const std::vector<std::string>& aliases() const { return alias_order_; }
 
+  /// Data-version stamp of the relation backing alias ordinal `ordinal`
+  /// (Relation::data_version at Build time). Cache keys pin these so a
+  /// reloaded relation can never satisfy a lookup made against new data.
+  uint64_t AliasDataVersion(size_t ordinal) const {
+    return by_alias_.at(alias_order_.at(ordinal)).data_version;
+  }
+
   /// The base tuple with id `id`, or nullptr.
   const TraceTuple* FindById(TupleId id) const;
   /// Alias that `id` belongs to ("" when unknown).
@@ -57,6 +71,7 @@ class QueryInput {
     Schema schema;
     std::vector<TraceTuple> tuples;
     uint32_t ordinal = 0;
+    uint64_t data_version = 0;
   };
   std::map<std::string, AliasData> by_alias_;
   std::vector<std::string> alias_order_;  // index = alias ordinal
@@ -67,11 +82,21 @@ class QueryInput {
 /// operator boundaries and every kCheckInterval rows inside the
 /// join/aggregate inner loops, and a tripped limit surfaces as a
 /// kDeadlineExceeded / kResourceExhausted / kCancelled status.
+///
+/// An optional SubtreeCache shares materialized non-leaf outputs across
+/// evaluator instances (and threads; the cache carries its own lock).
+/// Cache hits replay the exact row/byte charges recomputation would have
+/// made -- tick-safe, so a governed evaluation can still trip mid-hit --
+/// keeping budget accounting independent of cache luck.
 class Evaluator {
  public:
   Evaluator(const QueryTree* tree, const QueryInput* input,
-            ExecContext* ctx = nullptr)
-      : tree_(tree), input_(input), ctx_(ctx) {}
+            ExecContext* ctx = nullptr, SubtreeCache* cache = nullptr)
+      : tree_(tree), input_(input), ctx_(ctx), cache_(cache) {
+    for (size_t i = 0; i < tree_->bottom_up().size(); ++i) {
+      node_ordinal_.emplace(tree_->bottom_up()[i], i);
+    }
+  }
 
   /// Output of `node`, evaluating (and caching) descendants as needed.
   Result<const std::vector<TraceTuple>*> EvalNode(const OperatorNode* node);
@@ -89,8 +114,14 @@ class Evaluator {
   Result<std::vector<const std::vector<TraceTuple>*>> InputsOf(
       const OperatorNode* node);
 
-  /// Total intermediate tuples materialised so far (perf counters).
+  /// Total intermediate tuples materialised so far (perf counters). Tuples
+  /// served from the subtree cache count too: they are materialized state of
+  /// this evaluation regardless of who computed them.
   size_t tuples_produced() const { return tuples_produced_; }
+
+  /// Subtree-cache traffic of this evaluator (0/0 when no cache attached).
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
 
   const QueryTree& tree() const { return *tree_; }
   const QueryInput& input() const { return *input_; }
@@ -98,6 +129,8 @@ class Evaluator {
   ExecContext* exec_context() const { return ctx_; }
 
  private:
+  using Rows = std::shared_ptr<const std::vector<TraceTuple>>;
+
   Result<std::vector<TraceTuple>> Compute(const OperatorNode* node);
   Result<std::vector<TraceTuple>> ComputeSelect(const OperatorNode* node);
   Result<std::vector<TraceTuple>> ComputeProject(const OperatorNode* node);
@@ -105,6 +138,19 @@ class Evaluator {
   Result<std::vector<TraceTuple>> ComputeUnion(const OperatorNode* node);
   Result<std::vector<TraceTuple>> ComputeDifference(const OperatorNode* node);
   Result<std::vector<TraceTuple>> ComputeAggregate(const OperatorNode* node);
+
+  /// First rid of `node`'s output: top bit | (node ordinal + 1) << 40. Every
+  /// node owns a disjoint rid range and row i of its output always gets base
+  /// + i, which is what makes cached outputs replayable verbatim.
+  Rid RidBaseFor(const OperatorNode* node) const {
+    return kIntermediateRidBase |
+           ((static_cast<Rid>(node_ordinal_.at(node)) + 1) << 40);
+  }
+
+  /// Cache key of the subtree rooted at `node`: structural fingerprint +
+  /// node ordinals + (for scans) alias ordinal and relation data version.
+  /// Memoized per node; see docs/CACHING.md for the collision argument.
+  const std::string& CacheKeyFor(const OperatorNode* node);
 
   Rid NextRid() { return next_rid_++; }
 
@@ -120,9 +166,14 @@ class Evaluator {
   const QueryTree* tree_;
   const QueryInput* input_;
   ExecContext* ctx_ = nullptr;
-  std::unordered_map<const OperatorNode*, std::vector<TraceTuple>> outputs_;
+  SubtreeCache* cache_ = nullptr;
+  std::unordered_map<const OperatorNode*, Rows> outputs_;
+  std::unordered_map<const OperatorNode*, size_t> node_ordinal_;
+  std::unordered_map<const OperatorNode*, std::string> cache_keys_;
   Rid next_rid_ = kIntermediateRidBase + 1;
   size_t tuples_produced_ = 0;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
 };
 
 /// Computes the aggregate output tuples for `node` over an arbitrary input

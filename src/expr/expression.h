@@ -133,6 +133,7 @@ class Not : public Expression {
   void CollectAttributes(std::vector<Attribute>* out) const override {
     inner_->CollectAttributes(out);
   }
+  const ExprPtr& inner() const { return inner_; }
 
  private:
   ExprPtr inner_;

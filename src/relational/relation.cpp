@@ -1,8 +1,17 @@
 #include "relational/relation.h"
 
+#include <atomic>
+
 #include "common/strings.h"
 
 namespace ned {
+
+uint64_t NextRelationDataStamp() {
+  // Starts at 1 so stamp 0 unambiguously means "never mutated". Relaxed is
+  // enough: the stamp only needs uniqueness, not ordering against other data.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::string Relation::ToString(size_t max_rows) const {
   std::vector<std::string> header;

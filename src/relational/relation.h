@@ -4,6 +4,7 @@
 #ifndef NED_RELATIONAL_RELATION_H_
 #define NED_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,13 @@
 #include "relational/tuple.h"
 
 namespace ned {
+
+/// Draws the next value from a process-global monotone counter. Stamped onto
+/// a Relation by every mutation so caches can use the stamp as a content
+/// version: equal stamps imply identical rows (the converse need not hold --
+/// a reload that reproduces the same bytes still gets a fresh stamp, which
+/// only costs a spurious cache miss, never a stale hit).
+uint64_t NextRelationDataStamp();
 
 /// A stored relation instance I|R. Rows are addressed by index; base TupleIds
 /// are assigned per query-input alias by QueryInput (see exec/), not here,
@@ -34,9 +42,18 @@ class Relation {
     NED_CHECK_MSG(t.size() == schema_.size(),
                   "row arity mismatch for relation " + name_);
     rows_.push_back(std::move(t));
+    data_version_ = NextRelationDataStamp();
   }
   /// Convenience: AddRow from a value list.
   void AddRow(std::vector<Value> values) { AddRow(Tuple(std::move(values))); }
+
+  /// Content-version stamp: 0 for a relation never mutated, otherwise the
+  /// global stamp of its last mutation. Copies (e.g. the catalog's COW
+  /// snapshots) inherit the stamp, so an untouched relation keeps its version
+  /// across a Database copy while a reloaded one gets fresh stamps from its
+  /// AddRow calls -- exactly the invalidation granularity the subtree cache
+  /// wants (see docs/CACHING.md).
+  uint64_t data_version() const { return data_version_; }
 
   /// Multi-line debug rendering with header.
   std::string ToString(size_t max_rows = 20) const;
@@ -45,6 +62,7 @@ class Relation {
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
+  uint64_t data_version_ = 0;
 };
 
 }  // namespace ned

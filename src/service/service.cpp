@@ -24,6 +24,10 @@ double MsSince(Clock::time_point start, Clock::time_point end) {
 struct WhyNotService::Job {
   WhyNotRequest request;
   Catalog::Snapshot snapshot;
+  /// Non-empty when a complete answer should be inserted into the
+  /// content-addressed answer cache on completion (the Submit-time lookup
+  /// missed and nothing disqualified the request from caching).
+  std::string answer_cache_key;
   std::shared_ptr<ExecContext> ctx;
   Clock::time_point submit_time;
   Clock::time_point deadline;
@@ -35,9 +39,30 @@ struct WhyNotService::Job {
   std::shared_future<WhyNotResponse> future;
 };
 
+namespace {
+
+/// Packs the NedExplainOptions bits that change answer content into the
+/// answer-cache key. keep_tabq_dump is excluded: it only affects the
+/// NedExplainResult dump, never the AnswerSummary being cached.
+uint32_t EngineOptionBits(const NedExplainOptions& opts) {
+  return (opts.enable_early_termination ? 1u : 0u) |
+         (opts.compute_secondary ? 2u : 0u);
+}
+
+}  // namespace
+
 WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
                              ServiceOptions options)
-    : catalog_(std::move(catalog)), options_(options) {
+    : catalog_(std::move(catalog)),
+      options_(options),
+      subtree_cache_(options.subtree_cache_bytes > 0
+                         ? std::make_unique<SubtreeCache>(
+                               options.subtree_cache_bytes)
+                         : nullptr),
+      answer_cache_(options.answer_cache_bytes > 0
+                        ? std::make_unique<AnswerCache>(
+                              options.answer_cache_bytes)
+                        : nullptr) {
   NED_CHECK_MSG(catalog_ != nullptr, "service needs a catalog");
   NED_CHECK_MSG(options_.workers > 0, "service needs at least one worker");
   NED_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
@@ -87,6 +112,66 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     sub.response = it->second->future;
     return sub;
   }
+  // Pin the catalog snapshot at admission: this request sees the database
+  // as of now, whatever reloads happen while it waits or runs. Pinned
+  // before the load sheds because an answer-cache hit (below) is served
+  // without consuming queue or memory capacity.
+  auto snapshot = catalog_->GetSnapshot(request.db_name);
+  if (!snapshot.ok()) {
+    sub.status = snapshot.status();  // permanent: do not retry
+    return sub;
+  }
+  const size_t mem = request.memory_budget != 0 ? request.memory_budget
+                                                : options_.default_memory_budget;
+  const size_t rows = request.row_budget != 0 ? request.row_budget
+                                              : options_.default_row_budget;
+
+  // Content-addressed answer cache: a complete answer already computed for
+  // this (snapshot, SQL, question, budgets class, options) is replayed
+  // immediately -- no admission, no execution, exactly-once books
+  // untouched. The key embeds the snapshot version pinned above, so a
+  // reload can never serve a stale answer (stale keys simply stop being
+  // generated and age out of the LRU). Chaos-injected requests bypass:
+  // their faults must actually execute.
+  std::string answer_key;
+  if (answer_cache_ != nullptr && !request.bypass_answer_cache &&
+      request.inject_fault_at_step == 0 &&
+      request.inject_transient_failures == 0) {
+    answer_key = MakeAnswerCacheKey(
+        request.db_name, snapshot->version, request.sql,
+        request.question.ToString(), rows, mem,
+        EngineOptionBits(request.engine_options));
+    if (AnswerCache::Ptr hit = answer_cache_->Lookup(answer_key)) {
+      ++stats_.answer_cache_hits;
+      WhyNotResponse response;
+      response.key = request.key;
+      response.status = Status::OK();
+      response.answer = hit->summary;
+      response.snapshot_version = snapshot->version;
+      response.served_from_answer_cache = true;
+      // Keep the idempotency contract: this key now has a completed
+      // response, so a resubmission is served from the key cache. Not a
+      // `completed` execution, though -- the exactly-once books count only
+      // admitted work.
+      if (options_.completed_cache_capacity > 0) {
+        completed_fifo_.push_back(request.key);
+        completed_[request.key] = response;
+        while (completed_fifo_.size() > options_.completed_cache_capacity) {
+          completed_.erase(completed_fifo_.front());
+          completed_fifo_.pop_front();
+        }
+      }
+      std::promise<WhyNotResponse> ready;
+      ready.set_value(std::move(response));
+      sub.status = Status::OK();
+      sub.response = ready.get_future().share();
+      return sub;
+    }
+    ++stats_.answer_cache_misses;
+  } else if (answer_cache_ != nullptr) {
+    ++stats_.answer_cache_bypass;
+  }
+
   // Admission control: shed rather than queue unboundedly.
   if (queue_.size() >= options_.queue_capacity) {
     ++stats_.shed_queue_full;
@@ -95,8 +180,6 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     sub.retry_after_ms = SuggestedBackoffLocked();
     return sub;
   }
-  const size_t mem = request.memory_budget != 0 ? request.memory_budget
-                                                : options_.default_memory_budget;
   // The watermark only sheds when other work is admitted: a request whose
   // budget alone exceeds it must still be runnable once the service drains,
   // or a retry loop would never terminate.
@@ -109,17 +192,11 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     sub.retry_after_ms = SuggestedBackoffLocked();
     return sub;
   }
-  // Pin the catalog snapshot at admission: this request sees the database
-  // as of now, whatever reloads happen while it waits or runs.
-  auto snapshot = catalog_->GetSnapshot(request.db_name);
-  if (!snapshot.ok()) {
-    sub.status = snapshot.status();  // permanent: do not retry
-    return sub;
-  }
 
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
   job->snapshot = *snapshot;
+  job->answer_cache_key = std::move(answer_key);
   job->submit_time = Clock::now();
   const int64_t deadline_ms = job->request.deadline_ms != 0
                                   ? job->request.deadline_ms
@@ -128,9 +205,6 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   job->memory_charge = mem;
   job->ctx = std::make_shared<ExecContext>();
   if (options_.context_deadline) job->ctx->set_deadline(job->deadline);
-  const size_t rows = job->request.row_budget != 0
-                          ? job->request.row_budget
-                          : options_.default_row_budget;
   if (rows != 0) job->ctx->set_row_budget(rows);
   if (mem != 0) job->ctx->set_memory_budget(mem);
   if (job->request.inject_fault_at_step != 0) {
@@ -203,7 +277,14 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
     Finalize(job, std::move(response), /*final=*/true);
     return;
   }
-  auto engine = NedExplainEngine::Create(&*tree, &db, req.engine_options);
+  // Every engine run this service executes shares the service-wide subtree
+  // cache; its keys pin relation data versions, so snapshots never bleed
+  // into each other.
+  NedExplainOptions engine_options = req.engine_options;
+  if (subtree_cache_ != nullptr) {
+    engine_options.subtree_cache = subtree_cache_.get();
+  }
+  auto engine = NedExplainEngine::Create(&*tree, &db, engine_options);
   if (!engine.ok()) {
     response.status = engine.status();
     response.exec_ms = MsSince(exec_start, Clock::now());
@@ -218,6 +299,24 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   } else {
     response.status = Status::OK();
     response.answer = SummarizeResult(*engine, *result);
+  }
+  // Completeness gate: only answers that reflect the data -- not the budgets
+  // of the run that produced them -- enter the content-addressed cache. A
+  // partial answer is honest for its requester but must never be replayed
+  // as authoritative for another.
+  if (!job->answer_cache_key.empty() && answer_cache_ != nullptr &&
+      response.status.ok()) {
+    if (response.answer.complete) {
+      auto cached = std::make_shared<CachedAnswer>();
+      cached->summary = response.answer;
+      cached->snapshot_version = job->snapshot.version;
+      answer_cache_->Insert(job->answer_cache_key, std::move(cached));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.answer_cache_inserts;
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.partial_not_cached;
+    }
   }
   Finalize(job, std::move(response), /*final=*/true);
 }
@@ -307,6 +406,14 @@ WhyNotService::Stats WhyNotService::stats() const {
 size_t WhyNotService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+LruStats WhyNotService::subtree_cache_stats() const {
+  return subtree_cache_ != nullptr ? subtree_cache_->stats() : LruStats{};
+}
+
+LruStats WhyNotService::answer_cache_stats() const {
+  return answer_cache_ != nullptr ? answer_cache_->stats() : LruStats{};
 }
 
 }  // namespace ned

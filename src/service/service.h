@@ -47,6 +47,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/answer_cache.h"
+#include "cache/subtree_cache.h"
 #include "core/nedexplain.h"
 #include "core/report.h"
 #include "exec/exec_context.h"
@@ -82,6 +84,16 @@ struct ServiceOptions {
   /// only the watchdog enforces it -- the service tests use that to prove
   /// the watchdog alone bounds a runaway evaluation.
   bool context_deadline = true;
+  /// Byte budget of the content-addressed AnswerCache (cache/answer_cache.h):
+  /// complete answers keyed by (db, snapshot version, normalized SQL,
+  /// question, budgets class, engine options), served at Submit without
+  /// admission or execution. 0 disables it. Distinct from
+  /// `completed_cache_capacity`, which keys on the idempotency *request key*.
+  size_t answer_cache_bytes = 8u << 20;
+  /// Byte budget of the SubtreeCache shared by every engine run this service
+  /// executes (memoized materialized subtree outputs, keyed by structure +
+  /// relation data versions). 0 disables it.
+  size_t subtree_cache_bytes = 32u << 20;
 };
 
 /// One why-not request. `key` is the idempotency key: resubmitting the same
@@ -104,6 +116,10 @@ struct WhyNotRequest {
   /// Chaos knobs (see file comment for the semantics split).
   uint64_t inject_fault_at_step = 0;
   int inject_transient_failures = 0;
+  /// Skip the content-addressed answer cache for this request (both lookup
+  /// and insert); the subtree cache still applies. Requests with either
+  /// chaos knob set bypass implicitly -- injected faults must actually run.
+  bool bypass_answer_cache = false;
   NedExplainOptions engine_options;
 };
 
@@ -124,6 +140,9 @@ struct WhyNotResponse {
   double exec_ms = 0;
   /// Suggested client backoff when `status` is retryable.
   int64_t retry_after_ms = 0;
+  /// True when the answer was replayed from the content-addressed answer
+  /// cache at Submit (no admission, no execution; attempt stays 0).
+  bool served_from_answer_cache = false;
 
   bool retryable() const { return status.code() == StatusCode::kUnavailable; }
 };
@@ -157,6 +176,17 @@ class WhyNotService {
     uint64_t completed = 0;
     uint64_t transient_failures = 0;
     uint64_t watchdog_cancels = 0;
+    /// Content-addressed answer-cache traffic. Hits are served at Submit
+    /// and are neither `accepted` nor `completed`, so the exactly-once
+    /// books (`accepted == completed + transient_failures`) hold with the
+    /// cache on -- ned_stress asserts this.
+    uint64_t answer_cache_hits = 0;
+    uint64_t answer_cache_misses = 0;
+    uint64_t answer_cache_inserts = 0;
+    uint64_t answer_cache_bypass = 0;
+    /// Completed-but-partial answers that were *not* inserted (the
+    /// completeness gate; see docs/CACHING.md).
+    uint64_t partial_not_cached = 0;
   };
 
   WhyNotService(std::shared_ptr<Catalog> catalog, ServiceOptions options = {});
@@ -179,6 +209,11 @@ class WhyNotService {
   size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Occupancy/hit counters of the two content caches (all-zero when the
+  /// corresponding byte budget is 0).
+  LruStats subtree_cache_stats() const;
+  LruStats answer_cache_stats() const;
+
  private:
   struct Job;
 
@@ -194,6 +229,9 @@ class WhyNotService {
 
   const std::shared_ptr<Catalog> catalog_;
   const ServiceOptions options_;
+  /// Both caches are internally locked; nullptr when disabled by options.
+  const std::unique_ptr<SubtreeCache> subtree_cache_;
+  const std::unique_ptr<AnswerCache> answer_cache_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -18,8 +18,12 @@
 #include <set>
 #include <string>
 
+#include "cache/subtree_cache.h"
 #include "canonical/canonicalizer.h"
 #include "canonical/query_spec.h"
+#include "core/nedexplain.h"
+#include "core/report.h"
+#include "datasets/use_cases.h"
 #include "testing/difftest.h"
 #include "testing/oracle.h"
 #include "testing/workload.h"
@@ -179,6 +183,116 @@ TEST(Differential, GeneratorAlwaysPrintsSql) {
     EXPECT_FALSE(SpecToSql(w.spec).empty())
         << "seed " << seed << " (" << w.scenario << ") printed no SQL";
   }
+}
+
+// ---- caching must be answer-invisible (PR 4) -------------------------------
+
+/// True when the two summaries carry the same *answer* (the cache counters
+/// are computation metadata and deliberately excluded).
+bool SameAnswer(const AnswerSummary& a, const AnswerSummary& b) {
+  return a.detailed == b.detailed && a.condensed == b.condensed &&
+         a.secondary == b.secondary && a.dir_total == b.dir_total &&
+         a.indir_total == b.indir_total &&
+         a.survivors_at_root == b.survivors_at_root &&
+         a.complete == b.complete && a.completeness == b.completeness;
+}
+
+// Sweep: for every generated workload, the engine with a shared SubtreeCache
+// -- run twice, so the second pass replays entirely from cache -- must
+// produce bit-identical detailed/condensed/secondary answers to the
+// cache-free engine, and the warm pass must recompute nothing.
+TEST(Differential, CachedEngineMatchesCacheFreeOverSeedSweep) {
+  constexpr uint64_t kSweepFirst = 1;
+  constexpr uint64_t kSweepLast = 1000;
+  size_t ran = 0;
+  uint64_t warm_hits = 0;
+  size_t failures = 0;
+  for (uint64_t seed = kSweepFirst; seed <= kSweepLast; ++seed) {
+    GenWorkload w = MakeDiffWorkload(seed);
+    auto compiled = CompileWorkload(w);
+    if (!compiled.ok()) continue;  // rejected workloads are the sweep's job
+    auto engine_off = NedExplainEngine::Create((*compiled).tree.get(),
+                                               (*compiled).db.get());
+    if (!engine_off.ok()) continue;
+    auto r_off = engine_off->Explain(w.question);
+    if (!r_off.ok()) continue;
+    const AnswerSummary s_off = SummarizeResult(*engine_off, *r_off);
+
+    SubtreeCache cache(64u << 20);
+    NedExplainOptions on_opts;
+    on_opts.subtree_cache = &cache;
+    auto engine_on = NedExplainEngine::Create((*compiled).tree.get(),
+                                              (*compiled).db.get(), on_opts);
+    ASSERT_TRUE(engine_on.ok()) << "seed " << seed;
+    for (int pass = 0; pass < 2; ++pass) {
+      auto r_on = engine_on->Explain(w.question);
+      ASSERT_TRUE(r_on.ok()) << "seed " << seed << " pass " << pass;
+      const AnswerSummary s_on = SummarizeResult(*engine_on, *r_on);
+      if (!SameAnswer(s_off, s_on)) {
+        ++failures;
+        ADD_FAILURE() << "seed " << seed << " pass " << pass
+                      << ": cached answer diverged\n  off: " << s_off.ToString()
+                      << "\n  on:  " << s_on.ToString() << "\n"
+                      << DescribeWorkload(w);
+        if (failures >= 10) {
+          GTEST_FAIL() << "stopping after 10 divergent seeds";
+        }
+      }
+      if (pass == 1) {
+        EXPECT_EQ(r_on->subtree_cache_misses, 0u)
+            << "seed " << seed << ": warm pass recomputed a subtree";
+        warm_hits += r_on->subtree_cache_hits;
+      }
+    }
+    ++ran;
+  }
+  EXPECT_GE(ran, (kSweepLast - kSweepFirst + 1) * 9 / 10)
+      << "too many workloads skipped; the cache sweep lost its coverage";
+  EXPECT_GT(warm_hits, 0u) << "no warm pass ever hit the cache";
+}
+
+// The 19 Fig. 6 / Table 4 use cases: the full rendered report (the artifact
+// the checked-in goldens pin) must be byte-identical with caching on, cold
+// and warm alike -- so golden stability under caching follows transitively
+// from use_cases_test.
+TEST(Differential, UseCaseReportsAreUnchangedByCaching) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok()) << registry.status().ToString();
+  ASSERT_EQ(registry->use_cases().size(), 19u);
+
+  // One cache across all 19: entries from different queries over the same
+  // database may legitimately collide on shared subtrees, which must still
+  // be answer-invisible.
+  SubtreeCache cache(256u << 20);
+  uint64_t warm_hits = 0;
+  for (const UseCase& uc : registry->use_cases()) {
+    auto tree = registry->BuildTree(uc);
+    ASSERT_TRUE(tree.ok()) << uc.name << ": " << tree.status().ToString();
+    const Database& db = registry->database(uc.db_name);
+
+    auto engine_off = NedExplainEngine::Create(&*tree, &db);
+    ASSERT_TRUE(engine_off.ok()) << uc.name;
+    auto r_off = engine_off->Explain(uc.question);
+    ASSERT_TRUE(r_off.ok()) << uc.name;
+    const std::string report_off =
+        RenderExplainReport(*engine_off, uc.question, *r_off);
+
+    NedExplainOptions opts;
+    opts.subtree_cache = &cache;
+    auto engine_on = NedExplainEngine::Create(&*tree, &db, opts);
+    ASSERT_TRUE(engine_on.ok()) << uc.name;
+    for (int pass = 0; pass < 2; ++pass) {
+      auto r_on = engine_on->Explain(uc.question);
+      ASSERT_TRUE(r_on.ok()) << uc.name << " pass " << pass;
+      EXPECT_EQ(RenderExplainReport(*engine_on, uc.question, *r_on), report_off)
+          << uc.name << " pass " << pass << ": cached report diverged";
+      if (pass == 1) {
+        EXPECT_EQ(r_on->subtree_cache_misses, 0u) << uc.name;
+        warm_hits += r_on->subtree_cache_hits;
+      }
+    }
+  }
+  EXPECT_GT(warm_hits, 0u);
 }
 
 TEST(Differential, ReproCommandNamesTheSeed) {

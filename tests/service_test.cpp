@@ -216,19 +216,32 @@ TEST(Service, OverloadShedsAtPinnedQueueWatermark) {
 }
 
 TEST(Service, MemoryWatermarkSheds) {
+  constexpr size_t kBlockerBudget = 512u << 20;
   ServiceOptions options;
   options.workers = 1;
   options.queue_capacity = 64;
   options.default_memory_budget = 1 << 20;
-  options.memory_watermark_bytes = 2 << 20;  // room for two requests
+  // Room for the worker-occupying blocker plus two queued requests. A bare
+  // three-request version of this test races: a 1 MiB budget trips within
+  // milliseconds, so a descheduled submitter could find m1/m2 already
+  // finished and m3 admitted.
+  options.memory_watermark_bytes = kBlockerBudget + (2u << 20);
   WhyNotService service(MakeCatalog(), options);
-  auto a = service.Submit(SlowRequest("m1", 200));
-  auto b = service.Submit(SlowRequest("m2", 200));
-  auto c = service.Submit(SlowRequest("m3", 200));
+  // Occupies the single worker until its deadline (its generous budget
+  // never trips first), so m1/m2 sit queued -- and charged -- while m3
+  // arrives.
+  WhyNotRequest blocker = SlowRequest("blk", 300);
+  blocker.memory_budget = kBlockerBudget;
+  auto blk = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blk.status.ok());
+  auto a = service.Submit(SlowRequest("m1", 400));
+  auto b = service.Submit(SlowRequest("m2", 400));
+  auto c = service.Submit(SlowRequest("m3", 400));
   ASSERT_TRUE(a.status.ok());
   ASSERT_TRUE(b.status.ok());
   EXPECT_EQ(c.status.code(), StatusCode::kUnavailable);
   EXPECT_GT(c.retry_after_ms, 0);
+  blk.response.get();
   a.response.get();
   b.response.get();
   service.Shutdown();
@@ -388,6 +401,10 @@ TEST(Service, ShutdownWithInFlightRequestsLosesNothing) {
 TEST(Service, DrainShutdownCompletesQueuedWork) {
   ServiceOptions options;
   options.workers = 1;
+  // The point is that every queued request *executes* at drain; with the
+  // answer cache on, identical requests behind a fast first completion
+  // could legitimately be served at Submit instead of queuing.
+  options.answer_cache_bytes = 0;
   WhyNotService service(MakeCatalog(), options);
   std::vector<std::shared_future<WhyNotResponse>> futures;
   for (int i = 0; i < 4; ++i) {

@@ -16,7 +16,12 @@
 ///     the retry policy (clients stop submitting new work at the horizon,
 ///     so retries always find capacity),
 ///   - bounded p99 latency: queue wait + execution stays within the largest
-///     request deadline plus scheduling slack.
+///     request deadline plus scheduling slack,
+///   - honest caching: answer-cache hits seen by clients equal the hits the
+///     service recorded, the exactly-once books still balance with the
+///     caches on (hits are neither accepted nor completed), and full runs
+///     actually exercise the cached path (~half the traffic bypasses the
+///     answer cache so the execute path stays under chaos too).
 ///
 /// Exit code 0 on success, 1 on any violated invariant. `--smoke` is the
 /// CI-sized run.
@@ -86,6 +91,11 @@ struct ClientTally {
   uint64_t transients_seen = 0;
   uint64_t retried_to_success = 0;
   uint64_t duplicate_finals = 0;
+  /// Responses replayed from the content-addressed answer cache at Submit.
+  uint64_t cache_served = 0;
+  /// Requests that explicitly bypassed the answer cache (~half the traffic,
+  /// so both the cached and the executed path stay under chaos).
+  uint64_t cache_bypassed = 0;
   std::vector<double> latencies_ms;  // queue + exec of final responses
   /// Permanent-error diagnosis: "<case>: <status>" -> count. Printed on
   /// failure so a violated zero-permanent-errors invariant names the culprit.
@@ -178,6 +188,14 @@ void ClientLoop(int client_id, const Args& args, WhyNotService* service,
     if (inject_service && rng.Chance(0.25)) {
       req.inject_transient_failures = static_cast<int>(rng.UniformInt(1, 3));
     }
+    // Half the traffic skips the answer cache so repeated questions keep
+    // exercising the execute path (and its chaos) instead of collapsing
+    // into Submit-time replays; the other half proves cached serving stays
+    // exactly-once under the same load.
+    if (rng.Chance(0.5)) {
+      req.bypass_answer_cache = true;
+      ++tally->cache_bypassed;
+    }
 
     RetryOutcome outcome = ned::SubmitWithRetry(*service, req, policy);
     ++tally->requests;
@@ -204,6 +222,7 @@ void ClientLoop(int client_id, const Args& args, WhyNotService* service,
                                        outcome.response.status.ToString())];
       continue;
     }
+    if (outcome.response.served_from_answer_cache) ++tally->cache_served;
     if (outcome.response.answer.complete) {
       ++tally->ok_complete;
     } else {
@@ -325,6 +344,8 @@ int Run(const Args& args) {
     total.transients_seen += t.transients_seen;
     total.retried_to_success += t.retried_to_success;
     total.duplicate_finals += t.duplicate_finals;
+    total.cache_served += t.cache_served;
+    total.cache_bypassed += t.cache_bypassed;
     for (const auto& [kind, count] : t.error_kinds) {
       total.error_kinds[kind] += count;
     }
@@ -350,6 +371,17 @@ int Run(const Args& args) {
             << " completed=" << stats.completed
             << " transient_injected=" << stats.transient_failures
             << " watchdog_cancels=" << stats.watchdog_cancels << "\n"
+            << "answer cache      : hits=" << stats.answer_cache_hits
+            << " misses=" << stats.answer_cache_misses
+            << " inserts=" << stats.answer_cache_inserts
+            << " bypass=" << stats.answer_cache_bypass
+            << " partial_not_cached=" << stats.partial_not_cached
+            << " served=" << total.cache_served
+            << " client_bypassed=" << total.cache_bypassed << "\n"
+            << "subtree cache     : hits=" << service.subtree_cache_stats().hits
+            << " misses=" << service.subtree_cache_stats().misses
+            << " entries=" << service.subtree_cache_stats().entries
+            << " bytes=" << service.subtree_cache_stats().bytes << "\n"
             << "latency ms        : p50=" << p50 << " p99=" << p99 << "\n";
 
   int failures = 0;
@@ -392,11 +424,27 @@ int Run(const Args& args) {
     }
   }
   // Service books must balance: accepted requests all completed or failed
-  // transiently (each transient is a separate accepted execution).
+  // transiently (each transient is a separate accepted execution). Answer
+  // cache hits are served at Submit without being accepted, so this holds
+  // with the cache on -- exactly what this invariant now also audits.
   if (stats.accepted != stats.completed + stats.transient_failures) {
     fail(ned::StrCat("accepted=", stats.accepted, " != completed=",
                      stats.completed, " + transients=",
                      stats.transient_failures));
+  }
+  // Cache-served responses must be consistent between the service's books
+  // and what the clients actually observed.
+  if (total.cache_served != stats.answer_cache_hits) {
+    fail(ned::StrCat("clients saw ", total.cache_served,
+                     " cache-served responses but the service recorded ",
+                     stats.answer_cache_hits, " answer-cache hits"));
+  }
+  // Full runs must actually exercise the cached path: with half the traffic
+  // cache-eligible and the case list repeating, zero hits means the answer
+  // cache silently stopped serving.
+  if (!args.smoke && service.options().answer_cache_bytes > 0 &&
+      stats.answer_cache_hits == 0) {
+    fail("no answer-cache hits over a full run");
   }
   // Bounded tail latency: an accepted request's end-to-end time is capped
   // by its deadline (queue wait included); allow scheduling + checkpoint
