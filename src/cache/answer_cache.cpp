@@ -18,7 +18,7 @@ size_t ApproxAnswerBytes(const CachedAnswer& a) {
   return sizeof(CachedAnswer) + ApproxStringsBytes(a.summary.detailed) +
          ApproxStringsBytes(a.summary.condensed) +
          ApproxStringsBytes(a.summary.secondary) +
-         a.summary.completeness.size();
+         a.summary.completeness.size() + a.summary.degradation.size();
 }
 
 }  // namespace

@@ -1,4 +1,20 @@
 #include "common/timer.h"
 
-// Header-only; this translation unit exists so the build exercises the header
-// under the project's warning flags.
+namespace ned {
+
+namespace {
+
+/// The production time source: a thin virtual wrapper over steady_clock.
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock clock;
+  return &clock;
+}
+
+}  // namespace ned

@@ -9,12 +9,55 @@
 #ifndef NED_COMMON_TIMER_H_
 #define NED_COMMON_TIMER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
 
 namespace ned {
+
+/// Injectable time source: the virtual now() seam that lets the service's
+/// time-driven behaviour (queue expiry, breaker half-open probes, watchdog
+/// deadlines, brownout hysteresis) run against a test-controlled clock
+/// instead of wall time. Production code passes nullptr / Clock::Real() and
+/// pays one virtual call per read; tests inject a ManualClock and advance it
+/// explicitly, so expiry tests assert on exact instants instead of sleeping.
+class Clock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+
+  /// Process-wide real (steady_clock) instance.
+  static const Clock* Real();
+};
+
+/// Deterministic clock for tests. Starts at an arbitrary fixed epoch and
+/// only moves when told to. Thread-safe: Advance/Now may race freely (the
+/// watchdog thread reads while the test thread advances).
+class ManualClock : public Clock {
+ public:
+  ManualClock() = default;
+
+  TimePoint Now() const override {
+    return TimePoint(std::chrono::nanoseconds(
+        now_nanos_.load(std::memory_order_relaxed)));
+  }
+
+  void AdvanceMs(int64_t ms) {
+    now_nanos_.fetch_add(ms * 1'000'000, std::memory_order_relaxed);
+  }
+  void AdvanceNanos(int64_t ns) {
+    now_nanos_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+ private:
+  // Start well above zero so "deadline = now - 5ms" style arithmetic in
+  // tests can never underflow the epoch.
+  std::atomic<int64_t> now_nanos_{int64_t{1} << 40};
+};
 
 /// Simple steady-clock stopwatch.
 class Stopwatch {

@@ -35,6 +35,12 @@ struct AnswerSummary {
   /// original run's counters.
   size_t subtree_cache_hits = 0;
   size_t subtree_cache_misses = 0;
+  /// Brownout ladder level this answer was computed at (0 = full quality).
+  /// Degraded answers are honestly flagged and never stored in the answer
+  /// cache; see service/brownout.h for the ladder semantics.
+  int degradation_level = 0;
+  /// Human-readable degradation tag ("L1:no-secondary", ...); empty at L0.
+  std::string degradation;
 
   bool empty() const {
     return detailed.empty() && condensed.empty() && secondary.empty();

@@ -40,8 +40,7 @@ Status ExecContext::CheckPoint() {
         StrCat("memory budget exhausted: ~", bytes,
                " bytes materialized, budget ", memory_budget_));
   }
-  if (deadline_.has_value() &&
-      std::chrono::steady_clock::now() >= *deadline_) {
+  if (deadline_.has_value() && NowAgainstClock() >= *deadline_) {
     return Status::DeadlineExceeded(
         StrCat("deadline exceeded after ", step, " checkpoints"));
   }

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/timer.h"
 
 namespace ned {
 
@@ -58,9 +59,15 @@ class ExecContext {
   }
   /// Deadline `ms` milliseconds from now.
   void set_deadline_after_ms(int64_t ms) {
-    deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    deadline_ = NowAgainstClock() + std::chrono::milliseconds(ms);
   }
   bool has_deadline() const { return deadline_.has_value(); }
+
+  /// Injects the time source the deadline is checked against. Must be set
+  /// before evaluation starts (like the other configuration) and the clock
+  /// must outlive the context. nullptr (the default) reads steady_clock
+  /// directly, keeping the hot checkpoint free of virtual dispatch.
+  void set_clock(const Clock* clock) { clock_ = clock; }
 
   /// Maximum materialized rows (query input + intermediate results) across
   /// the evaluation. 0 = unlimited.
@@ -141,6 +148,11 @@ class ExecContext {
   }
 
  private:
+  std::chrono::steady_clock::time_point NowAgainstClock() const {
+    return clock_ != nullptr ? clock_->Now() : std::chrono::steady_clock::now();
+  }
+
+  const Clock* clock_ = nullptr;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   size_t row_budget_ = 0;
   size_t memory_budget_ = 0;

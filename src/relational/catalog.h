@@ -56,8 +56,12 @@ class Catalog {
 
   /// Copy-on-write CSV reload: copies the current snapshot of `name`,
   /// replaces (or creates) `relation` from `csv_text` on the copy, and
-  /// publishes the copy under a bumped version. A parse error leaves the
-  /// published snapshot untouched.
+  /// publishes the copy under a bumped version. Atomic on failure by
+  /// construction: all mutation happens on the private copy, so a parse
+  /// error discards the copy and leaves both the published snapshot and
+  /// the version counter untouched -- readers admitted before, during or
+  /// after a failed reload all see the last good database. Asserted by
+  /// relational_test and exercised concurrently by ned_stress's reloader.
   Status ReloadCsv(const std::string& name, const std::string& relation,
                    const std::string& csv_text);
 

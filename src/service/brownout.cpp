@@ -1,0 +1,91 @@
+#include "service/brownout.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace ned {
+
+BrownoutController::BrownoutController(BrownoutOptions options,
+                                       const Clock* clock)
+    : options_(options), clock_(clock != nullptr ? clock : Clock::Real()) {
+  window_.resize(std::max<size_t>(1, options_.latency_window), 0);
+}
+
+void BrownoutController::RecordCompletion(int64_t latency_ms) {
+  window_[window_next_] = latency_ms;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_filled_ = std::min(window_filled_ + 1, window_.size());
+}
+
+int64_t BrownoutController::RecentP99Ms() const {
+  if (window_filled_ == 0) return 0;
+  std::vector<int64_t> sorted(window_.begin(),
+                              window_.begin() + window_filled_);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank = (sorted.size() * 99) / 100;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int BrownoutController::LevelForPressure(double pressure,
+                                         const BrownoutOptions& options) {
+  if (pressure >= options.level3_pressure) return 3;
+  if (pressure >= options.level2_pressure) return 2;
+  if (pressure >= options.level1_pressure) return 1;
+  return 0;
+}
+
+int BrownoutController::Update(double queue_frac, double mem_frac) {
+  if (!options_.enabled) return 0;
+  double latency_frac = 0.0;
+  if (options_.p99_target_ms > 0) {
+    latency_frac = static_cast<double>(RecentP99Ms()) /
+                   static_cast<double>(options_.p99_target_ms);
+  }
+  pressure_ = std::max({queue_frac, mem_frac, latency_frac});
+  const int measured = LevelForPressure(pressure_, options_);
+  if (measured >= level_) {
+    // Step up (or hold) immediately; cancel any pending step-down.
+    level_ = measured;
+    step_down_pending_ = false;
+    return level_;
+  }
+  // Measured level is lower: only commit after the hold period.
+  const Clock::TimePoint now = clock_->Now();
+  if (!step_down_pending_) {
+    step_down_pending_ = true;
+    step_down_since_ = now;
+    return level_;
+  }
+  if (now - step_down_since_ >=
+      std::chrono::milliseconds(options_.step_down_hold_ms)) {
+    // One rung at a time, so recovery from L3 passes through L2/L1 and the
+    // hold period re-arms at each rung.
+    --level_;
+    step_down_pending_ = false;
+  }
+  return level_;
+}
+
+void ApplyBrownoutToOptions(int level, NedExplainOptions* options) {
+  if (level >= 1) options->compute_secondary = false;
+  if (level >= 2) options->keep_tabq_dump = false;
+}
+
+void ApplyBrownoutToSummary(int level, size_t detailed_cap,
+                            AnswerSummary* summary) {
+  if (level <= 0) return;
+  summary->degradation_level = level;
+  if (level >= 2 && summary->detailed.size() > detailed_cap) {
+    const size_t dropped = summary->detailed.size() - detailed_cap;
+    summary->detailed.resize(detailed_cap);
+    summary->detailed.push_back(
+        StrCat("... ", dropped, " more entries elided (brownout L", level,
+               ")"));
+  }
+  summary->degradation =
+      level >= 2 ? StrCat("L", level, ":condensed-focus") : "L1:no-secondary";
+}
+
+}  // namespace ned

@@ -8,6 +8,18 @@
 /// suggested backoff, resubmitting under the *same* idempotency key so the
 /// service can deduplicate and the end-to-end run stays exactly-once.
 ///
+/// Two cross-attempt governors bound the whole retry session, not just one
+/// attempt:
+///
+///   - `overall_deadline_ms` is an end-to-end budget spanning every attempt
+///     and every backoff sleep. Each attempt's request deadline is clamped
+///     to what remains, so attempt N cannot re-arm the full deadline the
+///     caller thought covered the whole operation.
+///   - `priority_aware_backoff` stretches backoff for weaker scheduling
+///     classes (batch 2x, background 4x), so when the service sheds under
+///     overload, background retries return last and interactive capacity
+///     recovers first.
+///
 /// All jitter randomness derives from the request (seed + key) via
 /// MixSeed/HashSeed -- never from process-global state -- so a concurrent
 /// retry schedule is reproducible bit-for-bit given the same inputs.
@@ -18,6 +30,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "service/service.h"
 
 namespace ned {
@@ -32,6 +45,18 @@ struct RetryPolicy {
   /// Jitter fraction: the computed backoff is scaled by a uniform factor in
   /// [1 - jitter, 1 + jitter] to de-synchronize retrying clients.
   double jitter = 0.5;
+  /// End-to-end budget across all attempts and backoffs; 0 = unlimited.
+  /// Each attempt's `request.deadline_ms` is clamped to the remaining
+  /// budget, and when it runs out SubmitWithRetry stops with
+  /// kDeadlineExceeded instead of starting another attempt.
+  int64_t overall_deadline_ms = 0;
+  /// Scale backoff by the request's priority class (interactive 1x,
+  /// batch 2x, background 4x) so overload recovery favours the work the
+  /// scheduler favours.
+  bool priority_aware_backoff = false;
+  /// Time source for the overall budget; nullptr = real steady clock
+  /// (tests inject a ManualClock).
+  const Clock* clock = nullptr;
 };
 
 /// True for outcomes the policy should retry: kUnavailable only. Resource
@@ -49,7 +74,7 @@ struct RetryOutcome {
   WhyNotResponse response;
   /// Submit calls made (>= 1).
   int attempts = 0;
-  /// Admission rejections (queue/watermark sheds) encountered.
+  /// Admission rejections (queue/watermark/quota/brownout sheds).
   int sheds = 0;
   /// Retryable execution failures (injected transients) encountered.
   int transients = 0;
@@ -58,6 +83,12 @@ struct RetryOutcome {
   bool exhausted = false;
   /// True when the service rejected permanently (bad database name etc.).
   bool permanent_rejection = false;
+  /// True when `overall_deadline_ms` ran out across attempts; the response
+  /// carries kDeadlineExceeded.
+  bool deadline_exhausted = false;
+  /// True when the final outcome was a circuit-breaker fast-fail (either a
+  /// synchronous Submit rejection or a worker-side short-circuit).
+  bool breaker_fast_fail = false;
 };
 
 /// Submits `request`, blocking on the response and retrying retryable

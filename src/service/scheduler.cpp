@@ -1,0 +1,17 @@
+#include "service/scheduler.h"
+
+namespace ned {
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+}  // namespace ned

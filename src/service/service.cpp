@@ -10,36 +10,10 @@
 namespace ned {
 
 namespace {
-using Clock = std::chrono::steady_clock;
 
-double MsSince(Clock::time_point start, Clock::time_point end) {
+double MsSince(Clock::TimePoint start, Clock::TimePoint end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
-}  // namespace
-
-/// One admitted request: everything its execution needs, pinned at
-/// admission. The shared_ptr is held by the queue, the in-flight map and
-/// (transiently) the executing worker; the watchdog reaches the ExecContext
-/// through the in-flight map under the service mutex.
-struct WhyNotService::Job {
-  WhyNotRequest request;
-  Catalog::Snapshot snapshot;
-  /// Non-empty when a complete answer should be inserted into the
-  /// content-addressed answer cache on completion (the Submit-time lookup
-  /// missed and nothing disqualified the request from caching).
-  std::string answer_cache_key;
-  std::shared_ptr<ExecContext> ctx;
-  Clock::time_point submit_time;
-  Clock::time_point deadline;
-  /// Bytes charged against the admission watermark for this request.
-  size_t memory_charge = 0;
-  bool running = false;          // guarded by mu_
-  bool watchdog_fired = false;   // guarded by mu_
-  std::promise<WhyNotResponse> promise;
-  std::shared_future<WhyNotResponse> future;
-};
-
-namespace {
 
 /// Packs the NedExplainOptions bits that change answer content into the
 /// answer-cache key. keep_tabq_dump is excluded: it only affects the
@@ -49,12 +23,47 @@ uint32_t EngineOptionBits(const NedExplainOptions& opts) {
          (opts.compute_secondary ? 2u : 0u);
 }
 
+/// Brownout with p99_target_ms = 0 inherits the service default deadline.
+BrownoutOptions ResolveBrownout(const ServiceOptions& options) {
+  BrownoutOptions resolved = options.brownout;
+  if (resolved.p99_target_ms == 0) {
+    resolved.p99_target_ms = options.default_deadline_ms;
+  }
+  return resolved;
+}
+
 }  // namespace
+
+/// One admitted request: everything its execution needs, pinned at
+/// admission. The shared_ptr is held by the scheduler, the in-flight map
+/// and (transiently) the executing worker; the watchdog reaches the
+/// ExecContext through the in-flight map under the service mutex.
+struct WhyNotService::Job {
+  WhyNotRequest request;
+  Catalog::Snapshot snapshot;
+  /// Non-empty when a complete answer should be inserted into the
+  /// content-addressed answer cache on completion (the Submit-time lookup
+  /// missed and nothing disqualified the request from caching).
+  std::string answer_cache_key;
+  /// Normalized content key for the circuit breaker; empty when breakers
+  /// are disabled.
+  std::string breaker_key;
+  std::shared_ptr<ExecContext> ctx;
+  Clock::TimePoint submit_time;
+  Clock::TimePoint deadline;
+  /// Bytes charged against the admission watermark for this request.
+  size_t memory_charge = 0;
+  bool running = false;          // guarded by mu_
+  bool watchdog_fired = false;   // guarded by mu_
+  std::promise<WhyNotResponse> promise;
+  std::shared_future<WhyNotResponse> future;
+};
 
 WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
                              ServiceOptions options)
     : catalog_(std::move(catalog)),
       options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
       subtree_cache_(options.subtree_cache_bytes > 0
                          ? std::make_unique<SubtreeCache>(
                                options.subtree_cache_bytes)
@@ -62,7 +71,16 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
       answer_cache_(options.answer_cache_bytes > 0
                         ? std::make_unique<AnswerCache>(
                               options.answer_cache_bytes)
-                        : nullptr) {
+                        : nullptr),
+      breaker_(options.breaker.failure_threshold > 0
+                   ? std::make_unique<CircuitBreaker>(options.breaker, clock_)
+                   : nullptr),
+      scheduler_(SchedulerOptions{options.queue_capacity,
+                                  options.per_client_limit}),
+      brownout_(options.brownout.enabled
+                    ? std::make_unique<BrownoutController>(
+                          ResolveBrownout(options), clock_)
+                    : nullptr) {
   NED_CHECK_MSG(catalog_ != nullptr, "service needs a catalog");
   NED_CHECK_MSG(options_.workers > 0, "service needs at least one worker");
   NED_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
@@ -77,9 +95,21 @@ WhyNotService::~WhyNotService() { Shutdown(/*drain=*/true); }
 
 int64_t WhyNotService::SuggestedBackoffLocked() const {
   const int64_t load_factor =
-      1 + static_cast<int64_t>(queue_.size()) / options_.workers;
+      1 + static_cast<int64_t>(scheduler_.size()) / options_.workers;
   return std::min(options_.base_backoff_ms * load_factor,
                   options_.max_backoff_ms);
+}
+
+void WhyNotService::UpdateBrownoutLocked() {
+  if (brownout_ == nullptr) return;
+  const double queue_frac = static_cast<double>(scheduler_.size()) /
+                            static_cast<double>(options_.queue_capacity);
+  const double mem_frac =
+      options_.memory_watermark_bytes != 0
+          ? static_cast<double>(admitted_bytes_) /
+                static_cast<double>(options_.memory_watermark_bytes)
+          : 0.0;
+  brownout_->Update(queue_frac, mem_frac);
 }
 
 WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
@@ -112,6 +142,22 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     sub.response = it->second->future;
     return sub;
   }
+  // Circuit breaker: a content key with an open breaker is rejected
+  // synchronously with its cached permanent error -- no snapshot pin, no
+  // admission, no worker. Probe admission (half-open) is decided at the
+  // worker in Execute, not here.
+  std::string breaker_key;
+  if (breaker_ != nullptr) {
+    breaker_key = MakeBreakerKey(request.db_name, request.sql,
+                                 request.question.ToString());
+    const CircuitBreaker::Decision decision = breaker_->Check(breaker_key);
+    if (decision.gate == CircuitBreaker::Gate::kFastFail) {
+      ++stats_.breaker_fast_fails;
+      sub.status = decision.cached_error;
+      sub.breaker_fast_fail = true;
+      return sub;
+    }
+  }
   // Pin the catalog snapshot at admission: this request sees the database
   // as of now, whatever reloads happen while it waits or runs. Pinned
   // before the load sheds because an answer-cache hit (below) is served
@@ -132,7 +178,8 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   // untouched. The key embeds the snapshot version pinned above, so a
   // reload can never serve a stale answer (stale keys simply stop being
   // generated and age out of the LRU). Chaos-injected requests bypass:
-  // their faults must actually execute.
+  // their faults must actually execute. Cache hits are served even under
+  // deep brownout -- replaying a stored full answer costs no worker.
   std::string answer_key;
   if (answer_cache_ != nullptr && !request.bypass_answer_cache &&
       request.inject_fault_at_step == 0 &&
@@ -172,13 +219,20 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     ++stats_.answer_cache_bypass;
   }
 
-  // Admission control: shed rather than queue unboundedly.
-  if (queue_.size() >= options_.queue_capacity) {
-    ++stats_.shed_queue_full;
-    sub.status = Status::Unavailable(
-        StrCat("overloaded: queue full (", queue_.size(), " queued)"));
-    sub.retry_after_ms = SuggestedBackoffLocked();
-    return sub;
+  // Brownout L3: the deepest rung stops admitting non-interactive work
+  // entirely -- batch and background clients retry after backoff while the
+  // remaining capacity serves interactive requests (at L2 quality).
+  if (brownout_ != nullptr) {
+    UpdateBrownoutLocked();
+    if (brownout_->level() >= 3 &&
+        request.priority != Priority::kInteractive) {
+      ++stats_.shed_brownout;
+      sub.status = Status::Unavailable(
+          StrCat("brownout L3: shedding ", PriorityName(request.priority),
+                 " work"));
+      sub.retry_after_ms = SuggestedBackoffLocked();
+      return sub;
+    }
   }
   // The watermark only sheds when other work is admitted: a request whose
   // budget alone exceeds it must still be runnable once the service drains,
@@ -197,13 +251,15 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   job->request = std::move(request);
   job->snapshot = *snapshot;
   job->answer_cache_key = std::move(answer_key);
-  job->submit_time = Clock::now();
+  job->breaker_key = std::move(breaker_key);
+  job->submit_time = clock_->Now();
   const int64_t deadline_ms = job->request.deadline_ms != 0
                                   ? job->request.deadline_ms
                                   : options_.default_deadline_ms;
   job->deadline = job->submit_time + std::chrono::milliseconds(deadline_ms);
   job->memory_charge = mem;
   job->ctx = std::make_shared<ExecContext>();
+  if (options_.clock != nullptr) job->ctx->set_clock(clock_);
   if (options_.context_deadline) job->ctx->set_deadline(job->deadline);
   if (rows != 0) job->ctx->set_row_budget(rows);
   if (mem != 0) job->ctx->set_memory_budget(mem);
@@ -212,7 +268,30 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   }
   job->future = job->promise.get_future().share();
 
-  queue_.push_back(job);
+  // Admission through the priority scheduler: strict class priority, EDF
+  // within a class, per-client fair share. The occupancy slot taken here is
+  // held until Finalize releases it.
+  const Scheduler::Admit admit = scheduler_.TryAdmit(Scheduler::Entry{
+      job, job->request.priority, job->deadline, job->request.client_id});
+  switch (admit) {
+    case Scheduler::Admit::kQueueFull:
+      ++stats_.shed_queue_full;
+      sub.status = Status::Unavailable(
+          StrCat("overloaded: queue full (", scheduler_.size(), " queued)"));
+      sub.retry_after_ms = SuggestedBackoffLocked();
+      return sub;
+    case Scheduler::Admit::kClientQuota:
+      ++stats_.shed_client_quota;
+      sub.status = Status::Unavailable(
+          StrCat("fair share: client \"", job->request.client_id, "\" has ",
+                 scheduler_.occupancy(job->request.client_id),
+                 " requests in flight (limit ", options_.per_client_limit,
+                 ")"));
+      sub.retry_after_ms = SuggestedBackoffLocked();
+      return sub;
+    case Scheduler::Admit::kOk:
+      break;
+  }
   inflight_.emplace(job->request.key, job);
   admitted_bytes_ += mem;
   ++stats_.accepted;
@@ -226,19 +305,38 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
 void WhyNotService::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
+    std::vector<Scheduler::Entry> expired;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      work_cv_.wait(lock, [this] { return stopping_ || !scheduler_.empty(); });
+      if (scheduler_.empty()) {
         if (stopping_) return;
         continue;
       }
-      job = queue_.front();
-      queue_.pop_front();
-      job->running = true;
+      // Fail-fast pass before dispatch: entries whose deadline passed while
+      // queued would only burn this worker computing an answer nobody is
+      // waiting for.
+      expired = scheduler_.TakeExpired(clock_->Now());
+      if (auto entry = scheduler_.Pop()) {
+        job = std::move(entry->item);
+        job->running = true;
+      }
     }
-    Execute(job);
+    for (const Scheduler::Entry& entry : expired) FailExpired(entry.item);
+    if (job != nullptr) Execute(job);
   }
+}
+
+void WhyNotService::FailExpired(const std::shared_ptr<Job>& job) {
+  WhyNotResponse response;
+  response.key = job->request.key;
+  response.snapshot_version = job->snapshot.version;
+  response.queue_ms = MsSince(job->submit_time, clock_->Now());
+  response.expired_in_queue = true;
+  response.status = Status::DeadlineExceeded(
+      StrCat("deadline passed after ",
+             static_cast<int64_t>(response.queue_ms), "ms in queue"));
+  Finalize(job, std::move(response), /*final=*/true);
 }
 
 void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
@@ -246,12 +344,43 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   WhyNotResponse response;
   response.key = req.key;
   response.snapshot_version = job->snapshot.version;
-  const Clock::time_point exec_start = Clock::now();
+  const Clock::TimePoint exec_start = clock_->Now();
   response.queue_ms = MsSince(job->submit_time, exec_start);
+  int brownout_level = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     response.attempt = ++attempts_[req.key];
+    if (brownout_ != nullptr) {
+      // The level read here governs this whole execution: one request never
+      // mixes quality levels even if the controller moves mid-run.
+      UpdateBrownoutLocked();
+      brownout_level = brownout_->level();
+    }
   }
+  // Breaker recheck at the worker: work admitted before its breaker opened
+  // (or queued behind the failures that opened it) must not execute after.
+  // kAllow/kProbe registers an execution that `finish` below pairs with
+  // End() on every exit path.
+  bool breaker_began = false;
+  if (breaker_ != nullptr) {
+    const CircuitBreaker::Decision decision =
+        breaker_->TryBegin(job->breaker_key);
+    if (decision.gate == CircuitBreaker::Gate::kFastFail) {
+      response.status = decision.cached_error;
+      response.breaker_fast_fail = true;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.breaker_fast_fails;
+      }
+      Finalize(job, std::move(response), /*final=*/true);
+      return;
+    }
+    breaker_began = true;
+  }
+  const auto finish = [&](bool final) {
+    if (breaker_began) breaker_->End(job->breaker_key, response.status);
+    Finalize(job, std::move(response), final);
+  };
   // Injected transient infrastructure fault: retryable, unlike engine
   // checkpoint faults which produce final (partial) answers below.
   if (response.attempt <= req.inject_transient_failures) {
@@ -262,8 +391,8 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
       response.retry_after_ms = SuggestedBackoffLocked();
       ++stats_.transient_failures;
     }
-    response.exec_ms = MsSince(exec_start, Clock::now());
-    Finalize(job, std::move(response), /*final=*/false);
+    response.exec_ms = MsSince(exec_start, clock_->Now());
+    finish(/*final=*/false);
     return;
   }
 
@@ -273,8 +402,8 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   auto tree = CompileSql(req.sql, db);
   if (!tree.ok()) {
     response.status = tree.status();
-    response.exec_ms = MsSince(exec_start, Clock::now());
-    Finalize(job, std::move(response), /*final=*/true);
+    response.exec_ms = MsSince(exec_start, clock_->Now());
+    finish(/*final=*/true);
     return;
   }
   // Every engine run this service executes shares the service-wide subtree
@@ -284,29 +413,46 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   if (subtree_cache_ != nullptr) {
     engine_options.subtree_cache = subtree_cache_.get();
   }
+  // Brownout computation cuts: L1+ skips the secondary answer, L2+ drops
+  // TabQ dumps. The condensed/detailed core is never cut -- only capped in
+  // rendering by ApplyBrownoutToSummary.
+  if (brownout_level > 0) {
+    ApplyBrownoutToOptions(brownout_level, &engine_options);
+  }
   auto engine = NedExplainEngine::Create(&*tree, &db, engine_options);
   if (!engine.ok()) {
     response.status = engine.status();
-    response.exec_ms = MsSince(exec_start, Clock::now());
-    Finalize(job, std::move(response), /*final=*/true);
+    response.exec_ms = MsSince(exec_start, clock_->Now());
+    finish(/*final=*/true);
     return;
   }
   auto result = engine->Explain(req.question, job->ctx.get());
-  response.exec_ms = MsSince(exec_start, Clock::now());
+  response.exec_ms = MsSince(exec_start, clock_->Now());
   if (!result.ok()) {
     // Non-resource error (resource limits come back as OK partials).
     response.status = result.status();
   } else {
     response.status = Status::OK();
     response.answer = SummarizeResult(*engine, *result);
+    if (brownout_level > 0) {
+      ApplyBrownoutToSummary(brownout_level, options_.brownout.detailed_cap,
+                             &response.answer);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded;
+    }
   }
   // Completeness gate: only answers that reflect the data -- not the budgets
   // of the run that produced them -- enter the content-addressed cache. A
   // partial answer is honest for its requester but must never be replayed
-  // as authoritative for another.
+  // as authoritative for another. Degraded answers are excluded for the
+  // same reason: their cache key describes the full answer the requester
+  // asked for, not the browned-out one the overload produced.
   if (!job->answer_cache_key.empty() && answer_cache_ != nullptr &&
       response.status.ok()) {
-    if (response.answer.complete) {
+    if (response.answer.degradation_level > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.degraded_not_cached;
+    } else if (response.answer.complete) {
       auto cached = std::make_shared<CachedAnswer>();
       cached->summary = response.answer;
       cached->snapshot_version = job->snapshot.version;
@@ -318,7 +464,7 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
       ++stats_.partial_not_cached;
     }
   }
-  Finalize(job, std::move(response), /*final=*/true);
+  finish(/*final=*/true);
 }
 
 void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
@@ -327,8 +473,12 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.erase(job->request.key);
     admitted_bytes_ -= job->memory_charge;
+    // The fair-share occupancy slot taken at TryAdmit frees here, whatever
+    // path the job took (executed, expired, fast-failed or drained).
+    scheduler_.Release(job->request.client_id);
     if (final) {
       ++stats_.completed;
+      if (response.expired_in_queue) ++stats_.expired_in_queue;
       attempts_.erase(job->request.key);
       if (options_.completed_cache_capacity > 0) {
         completed_fifo_.push_back(job->request.key);
@@ -341,6 +491,16 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
     }
     // Not final: the key leaves the books entirely, so a retry with the
     // same key re-executes (its attempt counter persists in attempts_).
+    if (brownout_ != nullptr) {
+      // Expired and fast-failed responses cost microseconds; feeding them
+      // to the p99 window would *mask* pressure exactly when shedding is
+      // heaviest, so only executed completions count.
+      if (!response.expired_in_queue && !response.breaker_fast_fail) {
+        brownout_->RecordCompletion(
+            static_cast<int64_t>(response.queue_ms + response.exec_ms));
+      }
+      UpdateBrownoutLocked();
+    }
   }
   job->promise.set_value(std::move(response));
 }
@@ -350,15 +510,24 @@ void WhyNotService::WatchdogLoop() {
   while (!stopping_) {
     watchdog_cv_.wait_for(
         lock, std::chrono::milliseconds(options_.watchdog_interval_ms));
-    const Clock::time_point now = Clock::now();
+    const Clock::TimePoint now = clock_->Now();
     for (auto& [key, job] : inflight_) {
-      if (!job->watchdog_fired && now >= job->deadline) {
+      if (job->running && !job->watchdog_fired && now >= job->deadline) {
         // Backstop for checkpoint gaps: cooperative deadline checks should
         // normally trip first, but the watchdog guarantees the bound.
         job->ctx->RequestCancel();
         job->watchdog_fired = true;
         ++stats_.watchdog_cancels;
       }
+    }
+    // Queued-but-expired entries are also failed fast from here, so expiry
+    // does not wait for a worker to come free (under saturation workers can
+    // stay busy for a long time -- exactly when queues expire).
+    std::vector<Scheduler::Entry> expired = scheduler_.TakeExpired(now);
+    if (!expired.empty()) {
+      lock.unlock();
+      for (const Scheduler::Entry& entry : expired) FailExpired(entry.item);
+      lock.lock();
     }
   }
 }
@@ -369,8 +538,9 @@ void WhyNotService::Shutdown(bool drain) {
     std::lock_guard<std::mutex> lock(mu_);
     accepting_ = false;
     if (!drain) {
-      to_fail.assign(queue_.begin(), queue_.end());
-      queue_.clear();
+      for (Scheduler::Entry& entry : scheduler_.DrainAll()) {
+        to_fail.push_back(std::move(entry.item));
+      }
       for (auto& [key, job] : inflight_) {
         if (job->running) job->ctx->RequestCancel();
       }
@@ -395,7 +565,7 @@ void WhyNotService::Shutdown(bool drain) {
   std::lock_guard<std::mutex> lock(mu_);
   NED_CHECK_MSG(inflight_.empty(),
                 "shutdown left accepted requests without responses");
-  NED_CHECK(queue_.empty());
+  NED_CHECK(scheduler_.empty());
 }
 
 WhyNotService::Stats WhyNotService::stats() const {
@@ -405,7 +575,21 @@ WhyNotService::Stats WhyNotService::stats() const {
 
 size_t WhyNotService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return scheduler_.size();
+}
+
+int WhyNotService::brownout_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return brownout_ != nullptr ? brownout_->level() : 0;
+}
+
+CircuitBreaker::Stats WhyNotService::breaker_stats() const {
+  return breaker_ != nullptr ? breaker_->stats() : CircuitBreaker::Stats{};
+}
+
+size_t WhyNotService::client_occupancy(const std::string& client_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduler_.occupancy(client_id);
 }
 
 LruStats WhyNotService::subtree_cache_stats() const {

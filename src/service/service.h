@@ -3,25 +3,42 @@
 ///
 /// Turns the single-request engine into a bounded multi-request service:
 /// requests (SQL + why-not predicate + per-request deadline/budget) are
-/// admitted onto a bounded queue and executed on a fixed worker pool, each
-/// under its own ExecContext, against the immutable Catalog snapshot pinned
-/// at admission. The contract, in order of the guarantees it gives:
+/// admitted onto a bounded priority queue and executed on a fixed worker
+/// pool, each under its own ExecContext, against the immutable Catalog
+/// snapshot pinned at admission. The contract, in order of the guarantees
+/// it gives:
 ///
-///  1. Admission control / load shedding. A full queue or a breached
-///     memory watermark (summed memory budgets of admitted-but-unfinished
-///     requests) rejects the submission *synchronously* with a retryable
-///     kUnavailable carrying a suggested backoff -- the queue never grows
-///     unboundedly and overload cannot push accepted requests past their
-///     deadlines.
-///  2. Snapshot isolation. Each request pins the Catalog snapshot current
+///  1. Admission control / load shedding. A full queue, a breached memory
+///     watermark (summed memory budgets of admitted-but-unfinished
+///     requests) or an exhausted per-client quota rejects the submission
+///     *synchronously* with a retryable kUnavailable carrying a suggested
+///     backoff -- the queue never grows unboundedly and overload cannot
+///     push accepted requests past their deadlines.
+///  2. Priority scheduling (service/scheduler.h). Requests carry a priority
+///     class and client id; dispatch is strict-priority between classes and
+///     earliest-deadline-first within one, and per-client fair-share quotas
+///     keep one hot client from starving the rest. A request whose deadline
+///     passes while still queued is failed fast with kDeadlineExceeded
+///     (`expired_in_queue`) instead of wasting a worker.
+///  3. Snapshot isolation. Each request pins the Catalog snapshot current
 ///     at admission and evaluates against it even if the database is
 ///     reloaded or swapped mid-flight.
-///  3. Deadline enforcement. The request's deadline covers queue wait plus
+///  4. Deadline enforcement. The request's deadline covers queue wait plus
 ///     execution; it is armed inside the ExecContext (cooperative
 ///     checkpoints) and backstopped by a watchdog thread that fires
 ///     RequestCancel on overrun, so a checkpoint gap cannot blow the
 ///     latency bound.
-///  4. Crash isolation and exactly-once responses. Any Status error or
+///  5. Brownout degradation (service/brownout.h, opt-in). Under measured
+///     pressure the service steps down a quality ladder -- skip secondary
+///     answers, condense output, finally shed non-interactive work -- so
+///     goodput survives overload. Every degraded answer is flagged in its
+///     AnswerSummary and never enters the answer cache.
+///  6. Circuit breakers (service/breaker.h). Repeated non-retryable
+///     failures of one request content key open a per-key breaker that
+///     fast-fails duplicates with the cached error until a half-open probe
+///     proves the key healthy again -- poison queries cost a bounded number
+///     of executions.
+///  7. Crash isolation and exactly-once responses. Any Status error or
 ///     tripped limit is contained in its request's response; every accepted
 ///     request resolves its future exactly once (Shutdown NED_CHECKs that
 ///     none is lost), and idempotent request keys deduplicate concurrent
@@ -49,10 +66,14 @@
 
 #include "cache/answer_cache.h"
 #include "cache/subtree_cache.h"
+#include "common/timer.h"
 #include "core/nedexplain.h"
 #include "core/report.h"
 #include "exec/exec_context.h"
 #include "relational/catalog.h"
+#include "service/breaker.h"
+#include "service/brownout.h"
+#include "service/scheduler.h"
 
 namespace ned {
 
@@ -62,6 +83,9 @@ struct ServiceOptions {
   int workers = 4;
   /// Bounded queue: submissions beyond this depth are shed.
   size_t queue_capacity = 64;
+  /// Max admitted-but-unfinished (queued + running) requests per client id;
+  /// 0 = unlimited. See SchedulerOptions::per_client_limit.
+  size_t per_client_limit = 0;
   /// When non-zero, also shed while the summed memory budgets of admitted
   /// but unfinished requests exceed this watermark. Requests with no memory
   /// budget (request and default both 0) are invisible to it, so give
@@ -94,6 +118,16 @@ struct ServiceOptions {
   /// executes (memoized materialized subtree outputs, keyed by structure +
   /// relation data versions). 0 disables it.
   size_t subtree_cache_bytes = 32u << 20;
+  /// Per-request-key circuit breaker policy (breaker.failure_threshold = 0
+  /// disables breakers entirely).
+  BreakerOptions breaker;
+  /// Brownout ladder policy (disabled unless brownout.enabled). A zero
+  /// brownout.p99_target_ms inherits `default_deadline_ms`.
+  BrownoutOptions brownout;
+  /// Time source for deadlines, expiry, breaker probes and the watchdog.
+  /// nullptr = the real steady clock. Tests inject a ManualClock here to
+  /// make time-driven behaviour deterministic.
+  const Clock* clock = nullptr;
 };
 
 /// One why-not request. `key` is the idempotency key: resubmitting the same
@@ -104,6 +138,11 @@ struct WhyNotRequest {
   std::string db_name;
   std::string sql;
   WhyNotQuestion question;
+  /// Scheduling class (strict priority between classes, EDF within one).
+  Priority priority = Priority::kInteractive;
+  /// Fair-share identity; empty ids share one anonymous bucket. Distinct
+  /// from `key`: many requests share one client.
+  std::string client_id;
   /// End-to-end deadline (queue wait + execution). 0 = service default.
   int64_t deadline_ms = 0;
   /// Per-request budgets; 0 = service default.
@@ -143,6 +182,12 @@ struct WhyNotResponse {
   /// True when the answer was replayed from the content-addressed answer
   /// cache at Submit (no admission, no execution; attempt stays 0).
   bool served_from_answer_cache = false;
+  /// True when the request's deadline passed while it was still queued:
+  /// `status` is kDeadlineExceeded and no worker ever ran it.
+  bool expired_in_queue = false;
+  /// True when an open circuit breaker short-circuited execution: `status`
+  /// is the breaker's cached error for this content key.
+  bool breaker_fast_fail = false;
 
   bool retryable() const { return status.code() == StatusCode::kUnavailable; }
 };
@@ -153,8 +198,9 @@ class WhyNotService {
   /// Outcome of Submit. `status` OK: the request is admitted (or coalesced
   /// onto an identical in-flight/completed key) and `response` will resolve
   /// exactly once. kUnavailable: shed -- retry after `retry_after_ms`.
-  /// Anything else (e.g. kNotFound for an unknown database): permanent
-  /// rejection, do not retry.
+  /// Anything else (e.g. kNotFound for an unknown database, or a breaker
+  /// fast-fail replaying a cached permanent error): permanent rejection, do
+  /// not retry.
   struct Submission {
     Status status;
     int64_t retry_after_ms = 0;
@@ -162,6 +208,9 @@ class WhyNotService {
     /// True when this submission attached to an existing key instead of
     /// admitting new work.
     bool deduped = false;
+    /// True when an open breaker rejected the submission synchronously with
+    /// its cached error (no admission, no execution).
+    bool breaker_fast_fail = false;
   };
 
   /// Monotonic counters; `Check` invariants are asserted from them.
@@ -170,12 +219,30 @@ class WhyNotService {
     uint64_t accepted = 0;
     uint64_t shed_queue_full = 0;
     uint64_t shed_memory = 0;
+    /// Sheds charged to a single client's fair-share quota.
+    uint64_t shed_client_quota = 0;
+    /// Non-interactive work shed at admission while the brownout ladder was
+    /// at L3.
+    uint64_t shed_brownout = 0;
     uint64_t rejected_shutdown = 0;
     uint64_t deduped_inflight = 0;
     uint64_t served_from_cache = 0;
     uint64_t completed = 0;
     uint64_t transient_failures = 0;
     uint64_t watchdog_cancels = 0;
+    /// Accepted requests failed fast with kDeadlineExceeded because their
+    /// deadline passed in the queue. Final responses: counted in
+    /// `completed`, so the exactly-once books still balance.
+    uint64_t expired_in_queue = 0;
+    /// Breaker short-circuits, both synchronous (at Submit, not accepted)
+    /// and worker-side (accepted before the breaker opened; counted in
+    /// `completed`).
+    uint64_t breaker_fast_fails = 0;
+    /// Answers computed at brownout level >= 1 (flagged in their summary).
+    uint64_t degraded = 0;
+    /// Complete-but-degraded answers kept out of the answer cache (the
+    /// honesty gate: a cache hit is always a full-quality answer).
+    uint64_t degraded_not_cached = 0;
     /// Content-addressed answer-cache traffic. Hits are served at Submit
     /// and are neither `accepted` nor `completed`, so the exactly-once
     /// books (`accepted == completed + transient_failures`) hold with the
@@ -209,6 +276,13 @@ class WhyNotService {
   size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// Current brownout ladder level (0 when brownout is disabled).
+  int brownout_level() const;
+  /// Breaker counters (all-zero when breakers are disabled).
+  CircuitBreaker::Stats breaker_stats() const;
+  /// Queued + running requests currently charged to `client_id`.
+  size_t client_occupancy(const std::string& client_id) const;
+
   /// Occupancy/hit counters of the two content caches (all-zero when the
   /// corresponding byte budget is 0).
   LruStats subtree_cache_stats() const;
@@ -216,29 +290,41 @@ class WhyNotService {
 
  private:
   struct Job;
+  using Scheduler = PriorityScheduler<std::shared_ptr<Job>>;
 
   void WorkerLoop();
   void WatchdogLoop();
   void Execute(const std::shared_ptr<Job>& job);
+  /// Finalizes a queued job whose deadline passed before any worker ran it.
+  void FailExpired(const std::shared_ptr<Job>& job);
   /// Resolves the job's promise and drops it from the in-flight books.
   /// `final` moves the response into the idempotency cache; transient
   /// failures instead clear the key so a retry re-executes.
   void Finalize(const std::shared_ptr<Job>& job, WhyNotResponse response,
                 bool final);
   int64_t SuggestedBackoffLocked() const;
+  /// Feeds current pressure signals to the brownout controller.
+  void UpdateBrownoutLocked();
 
   const std::shared_ptr<Catalog> catalog_;
   const ServiceOptions options_;
+  /// Never null: options.clock or the real steady clock.
+  const Clock* const clock_;
   /// Both caches are internally locked; nullptr when disabled by options.
   const std::unique_ptr<SubtreeCache> subtree_cache_;
   const std::unique_ptr<AnswerCache> answer_cache_;
+  /// Internally locked (workers call End outside mu_); null when disabled.
+  const std::unique_ptr<CircuitBreaker> breaker_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable watchdog_cv_;
   bool accepting_ = true;
   bool stopping_ = false;
-  std::deque<std::shared_ptr<Job>> queue_;
+  /// Priority/EDF queue + per-client occupancy; guarded by mu_.
+  Scheduler scheduler_;
+  /// Guarded by mu_; null when brownout is disabled.
+  const std::unique_ptr<BrownoutController> brownout_;
   /// Accepted, not yet finalized (queued or running), by idempotency key.
   std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
   /// Execution-attempt counters per key (spans transient-failure retries).

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "relational/attribute.h"
+#include "relational/catalog.h"
 #include "relational/database.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
@@ -239,6 +240,49 @@ TEST(Database, TotalRowsAndNames) {
   NED_CHECK(db.LoadCsv("A", "y\n1\n").ok());
   EXPECT_EQ(db.TotalRows(), 3u);
   EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"A", "B"}));
+}
+
+// ---- catalog reload atomicity ----------------------------------------------
+
+TEST(Catalog, FailedReloadLeavesSnapshotAndVersionUntouched) {
+  Catalog catalog;
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "aid,name\na1,Homer\n").ok());
+  NED_CHECK(catalog.Register("db", std::move(db)).ok());
+  auto before = catalog.GetSnapshot("db");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->version, 1u);
+  // Unterminated quote: the reload parses on a private copy and fails
+  // before anything publishes.
+  Status st = catalog.ReloadCsv("db", "A", "aid,name\na1,\"open\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  // Atomic on failure: same version, and a fresh snapshot still serves the
+  // pre-reload data (not a half-applied copy with A dropped).
+  EXPECT_EQ(catalog.VersionOf("db"), 1u);
+  auto after = catalog.GetSnapshot("db");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->version, 1u);
+  EXPECT_EQ(after->db.get(), before->db.get());
+  auto rel = after->db->GetRelation("A");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->size(), 1u);
+  // A subsequent good reload still works and bumps the version once.
+  NED_CHECK(catalog.ReloadCsv("db", "A", "aid,name\na1,Homer\na2,Marge\n").ok());
+  EXPECT_EQ(catalog.VersionOf("db"), 2u);
+}
+
+TEST(Catalog, FailedReloadOfNewRelationCreatesNothing) {
+  Catalog catalog;
+  Database db;
+  NED_CHECK(db.LoadCsv("A", "aid\na1\n").ok());
+  NED_CHECK(catalog.Register("db", std::move(db)).ok());
+  Status st = catalog.ReloadCsv("db", "B", "x,y\n1\n");  // ragged row
+  ASSERT_FALSE(st.ok());
+  auto snap = catalog.GetSnapshot("db");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(snap->db->HasRelation("B"));
+  EXPECT_EQ(catalog.VersionOf("db"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,443 @@
+/// \file scheduler_test.cpp
+/// \brief Units for the overload-resilience building blocks: the priority/
+/// EDF scheduler with fair-share quotas, the per-key circuit breaker state
+/// machine, and the brownout degradation ladder. All time-driven behaviour
+/// runs against a ManualClock, so every expiry/probe/hysteresis assertion
+/// is on an exact instant -- no sleeps, no flakes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/nedexplain.h"
+#include "core/report.h"
+#include "datasets/use_cases.h"
+#include "service/breaker.h"
+#include "service/brownout.h"
+#include "service/scheduler.h"
+
+namespace ned {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---- PriorityScheduler ------------------------------------------------------
+
+using IntScheduler = PriorityScheduler<int>;
+
+IntScheduler::Entry Entry(int item, Priority priority,
+                          Clock::TimePoint deadline,
+                          const std::string& client = "") {
+  IntScheduler::Entry entry;
+  entry.item = item;
+  entry.priority = priority;
+  entry.deadline = deadline;
+  entry.client = client;
+  return entry;
+}
+
+TEST(PriorityScheduler, StrictClassPriorityThenEdfThenFifo) {
+  ManualClock clock;
+  const Clock::TimePoint now = clock.Now();
+  IntScheduler sched(SchedulerOptions{16, 0});
+  // Admission order scrambles classes and deadlines on purpose.
+  ASSERT_EQ(sched.TryAdmit(Entry(1, Priority::kBackground, now + milliseconds(10))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(2, Priority::kBatch, now + milliseconds(500))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(3, Priority::kInteractive, now + milliseconds(900))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(4, Priority::kInteractive, now + milliseconds(100))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(5, Priority::kBatch, now + milliseconds(100))),
+            IntScheduler::Admit::kOk);
+  // FIFO tiebreak: same class, same deadline as #4.
+  ASSERT_EQ(sched.TryAdmit(Entry(6, Priority::kInteractive, now + milliseconds(100))),
+            IntScheduler::Admit::kOk);
+  std::vector<int> order;
+  while (auto e = sched.Pop()) order.push_back(e->item);
+  // Interactive (EDF: 4 before 6 by FIFO, then 3) > batch (5 then 2) >
+  // background -- an earlier background deadline never beats a stronger
+  // class.
+  EXPECT_EQ(order, (std::vector<int>{4, 6, 3, 5, 2, 1}));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(PriorityScheduler, QueueCapacityAndPerClientQuota) {
+  ManualClock clock;
+  const Clock::TimePoint deadline = clock.Now() + milliseconds(100);
+  IntScheduler sched(SchedulerOptions{3, 2});
+  EXPECT_EQ(sched.TryAdmit(Entry(1, Priority::kInteractive, deadline, "hot")),
+            IntScheduler::Admit::kOk);
+  EXPECT_EQ(sched.TryAdmit(Entry(2, Priority::kInteractive, deadline, "hot")),
+            IntScheduler::Admit::kOk);
+  // Third from the same client: quota, not capacity.
+  EXPECT_EQ(sched.TryAdmit(Entry(3, Priority::kInteractive, deadline, "hot")),
+            IntScheduler::Admit::kClientQuota);
+  EXPECT_EQ(sched.occupancy("hot"), 2u);
+  // A different client still fits.
+  EXPECT_EQ(sched.TryAdmit(Entry(4, Priority::kInteractive, deadline, "cold")),
+            IntScheduler::Admit::kOk);
+  // Now the queue itself is full for everyone.
+  EXPECT_EQ(sched.TryAdmit(Entry(5, Priority::kInteractive, deadline, "other")),
+            IntScheduler::Admit::kQueueFull);
+  // The occupancy slot outlives Pop (queued + running) and frees on
+  // Release, re-opening the quota.
+  (void)sched.Pop();
+  EXPECT_EQ(sched.occupancy("hot"), 2u);
+  sched.Release("hot");
+  EXPECT_EQ(sched.occupancy("hot"), 1u);
+  EXPECT_EQ(sched.TryAdmit(Entry(6, Priority::kInteractive, deadline, "hot")),
+            IntScheduler::Admit::kOk);
+}
+
+TEST(PriorityScheduler, TakeExpiredExtractsExactlyTheExpired) {
+  ManualClock clock;
+  const Clock::TimePoint now = clock.Now();
+  IntScheduler sched(SchedulerOptions{16, 0});
+  ASSERT_EQ(sched.TryAdmit(Entry(1, Priority::kInteractive, now + milliseconds(5))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(2, Priority::kInteractive, now + milliseconds(50))),
+            IntScheduler::Admit::kOk);
+  ASSERT_EQ(sched.TryAdmit(Entry(3, Priority::kBackground, now + milliseconds(5))),
+            IntScheduler::Admit::kOk);
+  EXPECT_TRUE(sched.TakeExpired(clock.Now()).empty());
+  clock.AdvanceMs(10);
+  std::vector<int> expired;
+  for (auto& e : sched.TakeExpired(clock.Now())) expired.push_back(e.item);
+  // Both 5ms entries, across classes; the 50ms one stays.
+  EXPECT_EQ(expired, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sched.size(), 1u);
+  auto next = sched.Pop();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->item, 2);
+}
+
+TEST(PriorityScheduler, DrainAllEmptiesEveryLane) {
+  ManualClock clock;
+  const Clock::TimePoint deadline = clock.Now() + milliseconds(100);
+  IntScheduler sched(SchedulerOptions{16, 0});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(sched.TryAdmit(Entry(i, static_cast<Priority>(i % 3), deadline)),
+              IntScheduler::Admit::kOk);
+  }
+  EXPECT_EQ(sched.DrainAll().size(), 6u);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.depth(Priority::kInteractive), 0u);
+}
+
+// ---- CircuitBreaker ---------------------------------------------------------
+
+BreakerOptions TestBreaker() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.probe_interval_ms = 100;
+  return options;
+}
+
+/// Runs one full execute-and-fail cycle through the breaker.
+void FailOnce(CircuitBreaker& breaker, const std::string& key) {
+  const auto decision = breaker.TryBegin(key);
+  ASSERT_NE(decision.gate, CircuitBreaker::Gate::kFastFail);
+  breaker.End(key, Status::InvalidArgument("poison"));
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdAndFastFailsWithCachedError) {
+  ManualClock clock;
+  CircuitBreaker breaker(TestBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, "k");
+  EXPECT_EQ(breaker.stats().opens, 1u);
+  // Both gates fast-fail with the recorded error, no execution admitted.
+  const auto check = breaker.Check("k");
+  EXPECT_EQ(check.gate, CircuitBreaker::Gate::kFastFail);
+  EXPECT_EQ(check.cached_error.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  EXPECT_EQ(breaker.stats().fast_fails, 2u);
+  // Unrelated keys are untouched.
+  EXPECT_EQ(breaker.Check("other").gate, CircuitBreaker::Gate::kAllow);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess) {
+  ManualClock clock;
+  CircuitBreaker breaker(TestBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, "k");
+  clock.AdvanceMs(99);
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  clock.AdvanceMs(1);
+  // Probe due: exactly one execution is admitted; a concurrent duplicate
+  // still fast-fails while the probe is in flight.
+  const auto probe = breaker.TryBegin("k");
+  EXPECT_EQ(probe.gate, CircuitBreaker::Gate::kProbe);
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  breaker.End("k", Status::OK());
+  // Healed: the key is forgotten entirely.
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kAllow);
+  breaker.End("k", Status::OK());
+  const auto stats = breaker.stats();
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.reopens, 0u);
+  EXPECT_EQ(stats.tracked_keys, 0u);
+}
+
+TEST(CircuitBreaker, FailedProbeReArmsTheOpenBreaker) {
+  ManualClock clock;
+  CircuitBreaker breaker(TestBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) FailOnce(breaker, "k");
+  clock.AdvanceMs(100);
+  const auto probe = breaker.TryBegin("k");
+  ASSERT_EQ(probe.gate, CircuitBreaker::Gate::kProbe);
+  breaker.End("k", Status::InvalidArgument("still poison"));
+  EXPECT_EQ(breaker.stats().reopens, 1u);
+  // Still open: the probe timer restarted from the failed probe.
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  clock.AdvanceMs(100);
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kProbe);
+  breaker.End("k", Status::OK());
+  EXPECT_EQ(breaker.Check("k").gate, CircuitBreaker::Gate::kAllow);
+}
+
+TEST(CircuitBreaker, SuspectSerializationBoundsConcurrentPoison) {
+  ManualClock clock;
+  CircuitBreaker breaker(TestBreaker(), &clock);
+  // One recorded failure turns the key into a suspect: only a single
+  // execution may be in flight, so the consecutive-failure count -- and the
+  // "poison costs at most threshold + probes" bound -- stays exact even
+  // when many workers hold duplicates of the key.
+  FailOnce(breaker, "k");
+  const auto first = breaker.TryBegin("k");
+  EXPECT_EQ(first.gate, CircuitBreaker::Gate::kAllow);
+  EXPECT_EQ(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  EXPECT_EQ(breaker.Check("k").gate, CircuitBreaker::Gate::kFastFail);
+  breaker.End("k", Status::InvalidArgument("poison"));
+  // Healthy keys run fully parallel: no failure recorded, no tracking.
+  EXPECT_EQ(breaker.TryBegin("fresh").gate, CircuitBreaker::Gate::kAllow);
+  EXPECT_EQ(breaker.TryBegin("fresh").gate, CircuitBreaker::Gate::kAllow);
+}
+
+TEST(CircuitBreaker, TransientsAndResourceLimitsAreNotPoison) {
+  EXPECT_FALSE(IsBreakerFailure(Status::OK()));
+  EXPECT_FALSE(IsBreakerFailure(Status::Unavailable("shed")));
+  EXPECT_FALSE(IsBreakerFailure(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsBreakerFailure(Status::ResourceExhausted("budget")));
+  EXPECT_FALSE(IsBreakerFailure(Status::Cancelled("watchdog")));
+  EXPECT_TRUE(IsBreakerFailure(Status::InvalidArgument("bad sql")));
+  EXPECT_TRUE(IsBreakerFailure(Status::NotFound("no relation")));
+  ManualClock clock;
+  CircuitBreaker breaker(TestBreaker(), &clock);
+  // Two failures then a transient: the transient proves the key executes,
+  // resetting the streak -- the breaker never opens.
+  FailOnce(breaker, "k");
+  FailOnce(breaker, "k");
+  ASSERT_NE(breaker.TryBegin("k").gate, CircuitBreaker::Gate::kFastFail);
+  breaker.End("k", Status::Unavailable("transient"));
+  FailOnce(breaker, "k");
+  FailOnce(breaker, "k");
+  EXPECT_EQ(breaker.stats().opens, 0u);
+  EXPECT_EQ(breaker.Check("k").gate, CircuitBreaker::Gate::kAllow);
+}
+
+TEST(CircuitBreaker, KeyIsContentNotRequestIdentity) {
+  // Same db + SQL (modulo whitespace/case normalization) + question -> same
+  // breaker key; any content difference -> different key.
+  const std::string base = MakeBreakerKey("db", "SELECT R.v FROM R", "(R.v:c)");
+  EXPECT_EQ(MakeBreakerKey("db", "select   r.v  from r", "(R.v:c)"), base);
+  EXPECT_NE(MakeBreakerKey("db2", "SELECT R.v FROM R", "(R.v:c)"), base);
+  EXPECT_NE(MakeBreakerKey("db", "SELECT R.w FROM R", "(R.v:c)"), base);
+  EXPECT_NE(MakeBreakerKey("db", "SELECT R.v FROM R", "(R.v:d)"), base);
+}
+
+// ---- BrownoutController -----------------------------------------------------
+
+BrownoutOptions TestBrownout() {
+  BrownoutOptions options;
+  options.enabled = true;
+  options.p99_target_ms = 100;
+  options.step_down_hold_ms = 50;
+  return options;
+}
+
+TEST(Brownout, LevelForPressureIsMonotone) {
+  const BrownoutOptions options = TestBrownout();
+  int last = 0;
+  for (double p = 0.0; p <= 1.5; p += 0.01) {
+    const int level = BrownoutController::LevelForPressure(p, options);
+    EXPECT_GE(level, last) << "ladder regressed at pressure " << p;
+    last = level;
+  }
+  EXPECT_EQ(BrownoutController::LevelForPressure(0.49, options), 0);
+  EXPECT_EQ(BrownoutController::LevelForPressure(0.50, options), 1);
+  EXPECT_EQ(BrownoutController::LevelForPressure(0.75, options), 2);
+  EXPECT_EQ(BrownoutController::LevelForPressure(0.90, options), 3);
+  EXPECT_EQ(last, 3);
+}
+
+TEST(Brownout, StepsUpImmediatelyAndDownOneRungAfterHold) {
+  ManualClock clock;
+  BrownoutController controller(TestBrownout(), &clock);
+  EXPECT_EQ(controller.Update(0.0, 0.0), 0);
+  // Pressure spike: straight to L3, no hold.
+  EXPECT_EQ(controller.Update(0.95, 0.0), 3);
+  // Pressure gone, but the level holds until step_down_hold_ms passes...
+  EXPECT_EQ(controller.Update(0.0, 0.0), 3);
+  clock.AdvanceMs(49);
+  EXPECT_EQ(controller.Update(0.0, 0.0), 3);
+  clock.AdvanceMs(1);
+  // ...then recovery walks down one rung per hold period, re-arming each
+  // time -- never a cliff from L3 to L0.
+  EXPECT_EQ(controller.Update(0.0, 0.0), 2);
+  clock.AdvanceMs(50);
+  EXPECT_EQ(controller.Update(0.0, 0.0), 2);
+  clock.AdvanceMs(50);
+  EXPECT_EQ(controller.Update(0.0, 0.0), 1);
+  // A fresh spike mid-recovery jumps straight back up.
+  EXPECT_EQ(controller.Update(0.80, 0.0), 2);
+}
+
+TEST(Brownout, RecentLatencyP99DrivesPressure) {
+  ManualClock clock;
+  BrownoutController controller(TestBrownout(), &clock);
+  // A window of completions at 2x the p99 target saturates the latency
+  // signal even with an empty queue and no memory pressure.
+  for (int i = 0; i < 128; ++i) controller.RecordCompletion(200);
+  EXPECT_EQ(controller.RecentP99Ms(), 200);
+  EXPECT_EQ(controller.Update(0.0, 0.0), 3);
+  EXPECT_GE(controller.pressure(), 2.0);
+}
+
+TEST(Brownout, DisabledControllerNeverLeavesL0) {
+  ManualClock clock;
+  BrownoutOptions options = TestBrownout();
+  options.enabled = false;
+  BrownoutController controller(options, &clock);
+  for (int i = 0; i < 128; ++i) controller.RecordCompletion(10'000);
+  EXPECT_EQ(controller.Update(1.0, 1.0), 0);
+  EXPECT_EQ(controller.level(), 0);
+}
+
+// ---- degradation application ------------------------------------------------
+
+AnswerSummary SampleSummary() {
+  AnswerSummary summary;
+  summary.condensed = {"m0", "m2"};
+  summary.detailed = {"(P.id:604, m0)", "(P.id:605, m0)", "(P.id:606, m2)",
+                      "(P.id:607, m2)"};
+  summary.secondary = {"m1"};
+  summary.complete = true;
+  return summary;
+}
+
+TEST(Brownout, OptionCutsPerLevel) {
+  NedExplainOptions base;
+  base.compute_secondary = true;
+  base.keep_tabq_dump = true;
+  NedExplainOptions l0 = base;
+  ApplyBrownoutToOptions(0, &l0);
+  EXPECT_TRUE(l0.compute_secondary);
+  EXPECT_TRUE(l0.keep_tabq_dump);
+  NedExplainOptions l1 = base;
+  ApplyBrownoutToOptions(1, &l1);
+  EXPECT_FALSE(l1.compute_secondary);
+  EXPECT_TRUE(l1.keep_tabq_dump);
+  NedExplainOptions l2 = base;
+  ApplyBrownoutToOptions(2, &l2);
+  EXPECT_FALSE(l2.compute_secondary);
+  EXPECT_FALSE(l2.keep_tabq_dump);
+}
+
+TEST(Brownout, SummaryRenderingIsGoldenPinnedPerLevel) {
+  // L0: byte-identical to the pre-brownout rendering -- the golden files
+  // pinned before brownout existed must never change.
+  AnswerSummary l0 = SampleSummary();
+  ApplyBrownoutToSummary(0, 8, &l0);
+  EXPECT_EQ(l0.ToString(),
+            "condensed=[m0,m2] detailed=4 secondary=[m1] (complete)");
+  EXPECT_EQ(l0.degradation_level, 0);
+  // L1: flagged, nothing truncated.
+  AnswerSummary l1 = SampleSummary();
+  l1.secondary.clear();  // as computed with compute_secondary = false
+  ApplyBrownoutToSummary(1, 8, &l1);
+  EXPECT_EQ(l1.ToString(),
+            "condensed=[m0,m2] detailed=4 secondary=[] (complete) "
+            "degraded=L1:no-secondary");
+  // L2: detailed capped at 2 entries + an honest elision marker.
+  AnswerSummary l2 = SampleSummary();
+  l2.secondary.clear();
+  ApplyBrownoutToSummary(2, 2, &l2);
+  EXPECT_EQ(l2.detailed.size(), 3u);
+  EXPECT_EQ(l2.detailed[2], "... 2 more entries elided (brownout L2)");
+  EXPECT_EQ(l2.ToString(),
+            "condensed=[m0,m2] detailed=3 secondary=[] (complete) "
+            "degraded=L2:condensed-focus");
+  // A cap wider than the listing truncates nothing.
+  AnswerSummary wide = SampleSummary();
+  ApplyBrownoutToSummary(2, 8, &wide);
+  EXPECT_EQ(wide.detailed.size(), 4u);
+  EXPECT_EQ(wide.degradation, "L2:condensed-focus");
+}
+
+// ---- degraded answers vs. full answers on the paper workload ----------------
+
+/// Differential contract of the ladder on all 19 use cases: an L1/L2 answer
+/// is a *projection* of the full answer -- identical condensed and detailed
+/// content (modulo the L2 rendering cap, which must be a prefix plus an
+/// elision marker), with only the secondary answer dropped. Brownout may
+/// never change which subqueries are blamed.
+TEST(BrownoutDifferential, DegradedAnswersAreProjectionsOfFullAnswers) {
+  auto registry = UseCaseRegistry::Build();
+  ASSERT_TRUE(registry.ok());
+  constexpr size_t kDetailedCap = 4;
+  for (const UseCase& uc : registry->use_cases()) {
+    SCOPED_TRACE(uc.name);
+    const Database& db = registry->database(uc.db_name);
+    auto tree_full = registry->BuildTree(uc);
+    ASSERT_TRUE(tree_full.ok());
+
+    NedExplainOptions full_options;
+    full_options.compute_secondary = true;
+    auto full_engine = NedExplainEngine::Create(&*tree_full, &db, full_options);
+    ASSERT_TRUE(full_engine.ok());
+    auto full_result = full_engine->Explain(uc.question, nullptr);
+    ASSERT_TRUE(full_result.ok()) << full_result.status().ToString();
+    const AnswerSummary full = SummarizeResult(*full_engine, *full_result);
+
+    for (int level = 1; level <= 2; ++level) {
+      auto tree = registry->BuildTree(uc);
+      ASSERT_TRUE(tree.ok());
+      NedExplainOptions options = full_options;
+      ApplyBrownoutToOptions(level, &options);
+      auto engine = NedExplainEngine::Create(&*tree, &db, options);
+      ASSERT_TRUE(engine.ok());
+      auto result = engine->Explain(uc.question, nullptr);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      AnswerSummary degraded = SummarizeResult(*engine, *result);
+      ApplyBrownoutToSummary(level, kDetailedCap, &degraded);
+
+      EXPECT_EQ(degraded.degradation_level, level);
+      // The blame set survives every rung.
+      EXPECT_EQ(degraded.condensed, full.condensed);
+      EXPECT_EQ(degraded.dir_total, full.dir_total);
+      EXPECT_EQ(degraded.indir_total, full.indir_total);
+      // Secondary answers are the cut.
+      EXPECT_TRUE(degraded.secondary.empty());
+      if (level == 1) {
+        EXPECT_EQ(degraded.detailed, full.detailed);
+      } else if (full.detailed.size() <= kDetailedCap) {
+        EXPECT_EQ(degraded.detailed, full.detailed);
+      } else {
+        // Capped rendering: a strict prefix of the full listing plus the
+        // elision marker, which states exactly how much was dropped.
+        ASSERT_EQ(degraded.detailed.size(), kDetailedCap + 1);
+        for (size_t i = 0; i < kDetailedCap; ++i) {
+          EXPECT_EQ(degraded.detailed[i], full.detailed[i]);
+        }
+        EXPECT_NE(degraded.detailed.back().find("elided"), std::string::npos);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ned

@@ -1,7 +1,12 @@
 /// \file service_test.cpp
-/// \brief The concurrent why-not service: admission control, snapshot
-/// isolation, watchdog cancellation, retry/backoff and exactly-once
-/// responses.
+/// \brief The concurrent why-not service: admission control, priority
+/// scheduling with fair-share quotas, queue expiry, snapshot isolation,
+/// watchdog cancellation, circuit breakers, brownout degradation,
+/// retry/backoff and exactly-once responses.
+///
+/// Time-driven behaviour (queue expiry, breaker probes, brownout holds) is
+/// tested against an injected ManualClock, so those tests assert on exact
+/// instants instead of sleeping.
 ///
 /// Built with -DNED_TSAN=ON these tests double as the ThreadSanitizer audit
 /// of the shared ExecContext state (atomic cancellation/step counters) and
@@ -466,6 +471,327 @@ TEST(Service, ConcurrentMixedLoadDeliversExactlyOnce) {
   EXPECT_EQ(failures.load(), 0u);
   const auto stats = service.stats();
   EXPECT_EQ(stats.accepted, stats.completed + stats.transient_failures);
+}
+
+// ---- priority scheduling / fair share --------------------------------------
+
+/// Blocks until the worker pool has popped everything queued, so requests
+/// submitted afterwards deterministically queue behind the running blocker
+/// instead of racing it for a worker.
+void WaitForEmptyQueue(const WhyNotService& service) {
+  while (service.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Scheduling, InteractiveOvertakesBatchOvertakesBackground) {
+  ServiceOptions options;
+  options.workers = 1;
+  WhyNotService service(MakeCatalog(), options);
+  // Pin the single worker, then enqueue in *reverse* priority order: FIFO
+  // would serve background first, the priority scheduler must not.
+  auto blocker = service.Submit(SlowRequest("blk", 300));
+  ASSERT_TRUE(blocker.status.ok());
+  WaitForEmptyQueue(service);
+  WhyNotRequest bg = TinyRequest("bg");
+  bg.priority = Priority::kBackground;
+  WhyNotRequest bt = TinyRequest("bt");
+  bt.priority = Priority::kBatch;
+  WhyNotRequest it = TinyRequest("it");
+  it.priority = Priority::kInteractive;
+  auto sub_bg = service.Submit(std::move(bg));
+  auto sub_bt = service.Submit(std::move(bt));
+  auto sub_it = service.Submit(std::move(it));
+  ASSERT_TRUE(sub_bg.status.ok());
+  ASSERT_TRUE(sub_bt.status.ok());
+  ASSERT_TRUE(sub_it.status.ok());
+  WhyNotResponse r_bg = sub_bg.response.get();
+  WhyNotResponse r_bt = sub_bt.response.get();
+  WhyNotResponse r_it = sub_it.response.get();
+  ASSERT_TRUE(r_bg.status.ok());
+  ASSERT_TRUE(r_bt.status.ok());
+  ASSERT_TRUE(r_it.status.ok());
+  // Dispatch order is execution-start order, and queue_ms measures exactly
+  // submit -> dispatch: strict class priority must invert submission order.
+  EXPECT_LT(r_it.queue_ms, r_bt.queue_ms);
+  EXPECT_LT(r_bt.queue_ms, r_bg.queue_ms);
+  blocker.response.get();
+  service.Shutdown();
+}
+
+TEST(Scheduling, FairShareQuotaShedsOnlyTheHotClient) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.per_client_limit = 2;
+  WhyNotService service(MakeCatalog(), options);
+  WhyNotRequest blocker = SlowRequest("blk", 300);
+  blocker.client_id = "hot";
+  auto blk = service.Submit(std::move(blocker));
+  ASSERT_TRUE(blk.status.ok());
+  WaitForEmptyQueue(service);
+  WhyNotRequest h1 = TinyRequest("h1");
+  h1.client_id = "hot";
+  auto sub_h1 = service.Submit(std::move(h1));
+  ASSERT_TRUE(sub_h1.status.ok());
+  EXPECT_EQ(service.client_occupancy("hot"), 2u);
+  // Third admitted-but-unfinished request from "hot" breaches its quota:
+  // shed retryably, while a cold client still gets in.
+  WhyNotRequest h2 = TinyRequest("h2");
+  h2.client_id = "hot";
+  auto sub_h2 = service.Submit(std::move(h2));
+  EXPECT_EQ(sub_h2.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(sub_h2.retry_after_ms, 0);
+  WhyNotRequest c1 = TinyRequest("c1");
+  c1.client_id = "cold";
+  auto sub_c1 = service.Submit(std::move(c1));
+  ASSERT_TRUE(sub_c1.status.ok());
+  EXPECT_EQ(service.client_occupancy("cold"), 1u);
+  blk.response.get();
+  sub_h1.response.get();
+  sub_c1.response.get();
+  service.Shutdown();
+  EXPECT_EQ(service.client_occupancy("hot"), 0u);
+  EXPECT_EQ(service.client_occupancy("cold"), 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed_client_quota, 1u);
+  EXPECT_EQ(stats.accepted, stats.completed);
+}
+
+// ---- queue expiry under an injected clock ----------------------------------
+
+TEST(Scheduling, QueueExpiryFailsFastAtTheExactInjectedInstant) {
+  ManualClock clock;
+  ServiceOptions options;
+  options.workers = 1;
+  options.clock = &clock;
+  WhyNotService service(MakeCatalog(), options);
+  // The blocker's 500ms deadline is *manual* time: it cannot trip until the
+  // clock is advanced, so the worker stays pinned.
+  auto blk = service.Submit(SlowRequest("blk", 500));
+  ASSERT_TRUE(blk.status.ok());
+  WaitForEmptyQueue(service);
+  WhyNotRequest target = TinyRequest("target");
+  target.deadline_ms = 20;
+  auto sub = service.Submit(std::move(target));
+  ASSERT_TRUE(sub.status.ok());
+  // 30ms of manual time pass: the target's deadline has now expired in the
+  // queue and the watchdog must fail it fast -- no worker ever ran it.
+  clock.AdvanceMs(30);
+  WhyNotResponse resp = sub.response.get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp.expired_in_queue);
+  EXPECT_EQ(resp.attempt, 0);  // never dispatched
+  EXPECT_GE(resp.queue_ms, 20.0);
+  // Now let the blocker's own deadline pass; it resolves as an honest
+  // partial (cooperative checkpoint or watchdog cancel).
+  clock.AdvanceMs(500);
+  WhyNotResponse blocked = blk.response.get();
+  ASSERT_TRUE(blocked.status.ok()) << blocked.status.ToString();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 2u);  // expiry is final: the books balance
+}
+
+// ---- circuit breaker: open, fast-fail, heal via reload + probe -------------
+
+TEST(Breaker, OpensOnPoisonThenHealsViaReloadAndProbe) {
+  ManualClock clock;
+  auto catalog = MakeCatalog();
+  ServiceOptions options;
+  options.workers = 1;
+  options.clock = &clock;
+  options.breaker.failure_threshold = 2;
+  options.breaker.probe_interval_ms = 100;
+  WhyNotService service(catalog, options);
+  // Poison: relation X does not exist yet, so binding fails permanently.
+  // Same content key every time; distinct idempotency keys.
+  auto poison = [](const std::string& key) {
+    WhyNotRequest req;
+    req.key = key;
+    req.db_name = "tiny";
+    req.sql = "SELECT X.v FROM X, S WHERE X.k = S.k";
+    CTuple tc;
+    tc.Add("X.v", Value::Str("c"));
+    req.question = WhyNotQuestion(tc);
+    return req;
+  };
+  auto p1 = service.Submit(poison("p1"));
+  ASSERT_TRUE(p1.status.ok());
+  WhyNotResponse r1 = p1.response.get();  // sequential: suspect
+  EXPECT_FALSE(r1.status.ok());          // serialization must not kick in
+  EXPECT_FALSE(r1.retryable());
+  auto p2 = service.Submit(poison("p2"));
+  ASSERT_TRUE(p2.status.ok());
+  WhyNotResponse r2 = p2.response.get();
+  EXPECT_FALSE(r2.status.ok());
+  // Two consecutive permanent failures: the breaker is open. The third
+  // submission is rejected synchronously with the cached error -- never
+  // admitted, never executed.
+  auto p3 = service.Submit(poison("p3"));
+  EXPECT_FALSE(p3.status.ok());
+  EXPECT_TRUE(p3.breaker_fast_fail);
+  EXPECT_EQ(p3.status.code(), r2.status.code());
+  EXPECT_EQ(service.breaker_stats().opens, 1u);
+  // The operator fixes the data: X now exists. The breaker key is content
+  // (db + SQL + question), not snapshot version, so the open entry is still
+  // there -- and stays closed to traffic until the probe interval elapses.
+  NED_CHECK(catalog->ReloadCsv("tiny", "X", "id,k,v\n1,20,c\n").ok());
+  auto p4 = service.Submit(poison("p4"));
+  EXPECT_FALSE(p4.status.ok());
+  EXPECT_TRUE(p4.breaker_fast_fail);
+  // Probe due: one request is let through half-open; its success closes
+  // the breaker and drops the key from tracking entirely.
+  clock.AdvanceMs(100);
+  auto p5 = service.Submit(poison("p5"));
+  ASSERT_TRUE(p5.status.ok()) << p5.status.ToString();
+  WhyNotResponse r5 = p5.response.get();
+  ASSERT_TRUE(r5.status.ok()) << r5.status.ToString();
+  EXPECT_TRUE(r5.answer.complete);
+  EXPECT_EQ(r5.snapshot_version, 2u);
+  service.Shutdown();
+  const auto breaker = service.breaker_stats();
+  EXPECT_EQ(breaker.opens, 1u);
+  EXPECT_EQ(breaker.reopens, 0u);
+  EXPECT_EQ(breaker.probes, 1u);
+  EXPECT_EQ(breaker.fast_fails, 2u);
+  EXPECT_EQ(breaker.tracked_keys, 0u);  // healthy keys cost nothing
+  EXPECT_EQ(service.stats().breaker_fast_fails, 2u);
+}
+
+// ---- brownout: degrade under pressure, shed L3, never cache ----------------
+
+TEST(Brownout, DegradesUnderQueuePressureAndKeepsDegradedAnswersUncached) {
+  ManualClock clock;
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.clock = &clock;
+  options.brownout.enabled = true;
+  WhyNotService service(MakeCatalog(), options);
+  auto blk = service.Submit(SlowRequest("blk", 50));
+  ASSERT_TRUE(blk.status.ok());
+  WaitForEmptyQueue(service);
+  // Fill the queue: pressure climbs with every submission. Long deadlines
+  // keep the queued work alive across the manual-clock advance below.
+  std::vector<std::shared_future<WhyNotResponse>> queued;
+  for (int i = 0; i < 4; ++i) {
+    WhyNotRequest req = TinyRequest(StrCat("t", i));
+    req.deadline_ms = 100'000;
+    auto sub = service.Submit(std::move(req));
+    ASSERT_TRUE(sub.status.ok()) << sub.status.ToString();
+    queued.push_back(sub.response);
+  }
+  // Queue now at capacity: the ladder reads full pressure and steps to L3,
+  // where non-interactive work is shed outright.
+  WhyNotRequest batch = TinyRequest("batch");
+  batch.priority = Priority::kBatch;
+  batch.deadline_ms = 100'000;
+  auto shed = service.Submit(std::move(batch));
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.brownout_level(), 3);
+  // Free the worker; the queued interactive work drains at L3 (step-down
+  // needs a hold period of manual time that never elapses here).
+  clock.AdvanceMs(60);
+  for (auto& f : queued) {
+    WhyNotResponse resp = f.get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_TRUE(resp.answer.complete);
+    EXPECT_EQ(resp.answer.degradation_level, 3);
+    EXPECT_EQ(resp.answer.degradation, "L3:condensed-focus");
+    EXPECT_TRUE(resp.answer.secondary.empty());
+    EXPECT_FALSE(resp.served_from_answer_cache);
+  }
+  blk.response.get();
+  service.Shutdown();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed_brownout, 1u);
+  EXPECT_EQ(stats.degraded, 4u);
+  // The honesty gate: complete-but-degraded answers never enter the answer
+  // cache, so a later cache hit is always full quality.
+  EXPECT_EQ(stats.degraded_not_cached, 4u);
+  EXPECT_EQ(stats.answer_cache_inserts, 0u);
+}
+
+// ---- retry: cross-attempt budget + priority-aware backoff ------------------
+
+TEST(Retry, OverallDeadlineBoundsTheWholeRetrySession) {
+  WhyNotService service(MakeCatalog(), {});
+  WhyNotRequest req = TinyRequest("budget");
+  req.inject_transient_failures = 100;  // never succeeds
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 10;
+  policy.jitter = 0;
+  policy.overall_deadline_ms = 60;
+  const auto start = std::chrono::steady_clock::now();
+  RetryOutcome outcome = SubmitWithRetry(service, req, policy);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // The budget, not max_attempts, ended the session -- with a clean
+  // kDeadlineExceeded, not a retry-me kUnavailable.
+  EXPECT_TRUE(outcome.deadline_exhausted);
+  EXPECT_FALSE(outcome.exhausted);
+  EXPECT_EQ(outcome.response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(outcome.attempts, 2);
+  EXPECT_LT(outcome.attempts, 50);
+  EXPECT_LT(elapsed.count(), 2000);
+  service.Shutdown();
+}
+
+TEST(Retry, PriorityAwareBackoffStretchesWeakerClasses) {
+  WhyNotService service(MakeCatalog(), {});
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 8;
+  policy.multiplier = 1.0;
+  policy.max_backoff_ms = 8;
+  policy.jitter = 0;
+  policy.priority_aware_backoff = true;
+  WhyNotRequest interactive = TinyRequest("pb-i");
+  interactive.inject_transient_failures = 100;
+  WhyNotRequest background = TinyRequest("pb-bg");
+  background.priority = Priority::kBackground;
+  background.inject_transient_failures = 100;
+  RetryOutcome oi = SubmitWithRetry(service, interactive, policy);
+  RetryOutcome obg = SubmitWithRetry(service, background, policy);
+  EXPECT_TRUE(oi.exhausted);
+  EXPECT_TRUE(obg.exhausted);
+  // Two sleeps of 8ms each, deterministic (jitter 0, multiplier 1):
+  // background pays exactly the 4x class factor.
+  EXPECT_EQ(oi.backoff_total_ms, 16);
+  EXPECT_EQ(obg.backoff_total_ms, 64);
+  service.Shutdown();
+}
+
+// ---- catalog reload atomicity, as seen from the service --------------------
+
+TEST(Service, KeepsServingIdenticallyAcrossAFailedReload) {
+  auto catalog = MakeCatalog();
+  WhyNotService service(catalog, {});
+  WhyNotRequest before = TinyRequest("before");
+  before.bypass_answer_cache = true;
+  auto sub1 = service.Submit(std::move(before));
+  ASSERT_TRUE(sub1.status.ok());
+  WhyNotResponse r1 = sub1.response.get();
+  ASSERT_TRUE(r1.status.ok());
+  EXPECT_EQ(r1.snapshot_version, 1u);
+  // A reload that fails mid-parse must be a no-op: ReloadCsv builds the new
+  // snapshot off to the side and publishes only on success.
+  Status bad = catalog->ReloadCsv("tiny", "R", "id,k,v\n1,\"open\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(catalog->VersionOf("tiny"), 1u);
+  WhyNotRequest after = TinyRequest("after");
+  after.bypass_answer_cache = true;
+  auto sub2 = service.Submit(std::move(after));
+  ASSERT_TRUE(sub2.status.ok());
+  WhyNotResponse r2 = sub2.response.get();
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r2.snapshot_version, 1u);
+  EXPECT_EQ(r2.answer.ToString(), r1.answer.ToString());
+  service.Shutdown();
 }
 
 }  // namespace
