@@ -9,6 +9,9 @@
 #ifdef NED_FORCE_SUBTREE_CACHE
 #include "cache/subtree_cache.h"
 #endif
+#ifdef NED_FORCE_PARALLEL
+#include "exec/parallel.h"
+#endif
 
 namespace ned {
 
@@ -192,6 +195,19 @@ Result<NedExplainEngine> NedExplainEngine::Create(const QueryTree* tree,
 
 Result<NedExplainResult> NedExplainEngine::Explain(
     const WhyNotQuestion& question, ExecContext* ctx) {
+#ifdef NED_FORCE_PARALLEL
+  // The CI forced-parallel configuration: every evaluation that would run
+  // serial draws threads from one process-global pool instead, so the whole
+  // suite exercises the parallel paths. Bit-identity with serial evaluation
+  // (docs/PARALLELISM.md) is what makes this transparent.
+  static TaskPool* forced_pool = new TaskPool(3);
+  ExecContext forced_ctx;
+  if (ctx == nullptr) ctx = &forced_ctx;
+  if (ctx->task_pool() == nullptr) {
+    ctx->set_parallelism(forced_pool, 4);
+    ctx->set_parallel_min_rows(4);
+  }
+#endif
   NedExplainResult result;
 
   // Marks the run partial because `limit` tripped. Used wherever a governed
@@ -325,6 +341,10 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
 
   // ---- Alg. 1 main loop ----------------------------------------------------
   bool terminated = false;
+  // A limit that tripped during a level pre-warm (parallel sibling fan-out).
+  // It surfaces when the walk reaches the first node left unevaluated, which
+  // is exactly where the serial walk would have stopped.
+  Status prewarm_limit = Status::OK();
   for (size_t i = 0; i < tabq.size(); ++i) {
     TabQEntry& entry = tabq.at(i);
     const OperatorNode* m = entry.node;
@@ -365,10 +385,40 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
       }
     }
 
+    // -- Level pre-warm: when parallelism is active, evaluate this level's
+    //    sibling subtrees concurrently before the per-node walk consumes
+    //    them. Runs after the early-termination check, so it computes
+    //    exactly the node set the serial walk evaluates; without a task
+    //    pool (or with everything memoized) EvalNodes is a no-op.
+    if (prewarm_limit.ok() &&
+        (i == 0 || entry.level() != tabq.at(i - 1).level())) {
+      std::vector<const OperatorNode*> level_nodes;
+      for (size_t j = i;
+           j < tabq.size() && tabq.at(j).level() == entry.level(); ++j) {
+        level_nodes.push_back(tabq.at(j).node);
+      }
+      if (level_nodes.size() > 1) {
+        PhaseTimer::Scope scope(phases, phase::kBottomUp);
+        Status warm = evaluator->EvalNodes(level_nodes);
+        if (!warm.ok()) {
+          if (!IsResourceLimit(warm)) return warm;
+          prewarm_limit = warm;
+        }
+      }
+    }
+
     // -- Evaluate m on its input (Alg. 1 line 8) and maintain the parent's
     //    entries and the EmptyOutput/Picky managers (lines 9-14).
     {
       PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      if (!prewarm_limit.ok() && evaluator->TryGetOutput(m) == nullptr) {
+        // The pre-warm tripped before (or while) computing m: stop here,
+        // keeping the maintenance state of everything evaluated below.
+        // Re-running m could consume a deterministic fault injection twice,
+        // so the walk must not retry.
+        mark_partial(prewarm_limit, m);
+        break;
+      }
       auto output_result = evaluator->EvalNode(m);
       if (!output_result.ok()) {
         // A limit tripping inside the operator leaves no output for m; the

@@ -1,0 +1,126 @@
+#include "exec/parallel.h"
+
+#include "exec/exec_context.h"
+
+namespace ned {
+
+bool ParallelActive(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->task_pool() != nullptr && ctx->threads() > 1;
+}
+
+MorselPlan PlanFor(const ExecContext* ctx, size_t n) {
+  if (!ParallelActive(ctx)) return MorselPlan{};
+  return MorselPlan::For(n, ctx->threads(), ctx->parallel_min_rows());
+}
+
+TaskPool::TaskPool(int threads) {
+  const int n = threads < 0 ? 0 : threads;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t TaskPool::DrainSection(Section& section) {
+  size_t ran = 0;
+  const size_t size = section.size;
+  for (;;) {
+    const size_t i = section.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size) break;
+    section.tasks[i]();
+    ++ran;
+    std::lock_guard<std::mutex> lock(section.mu);
+    if (++section.done == size) section.done_cv.notify_all();
+  }
+  return ran;
+}
+
+void TaskPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Section> section;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      section = queue_.front();
+      // Pop eagerly once every task is claimed; otherwise leave the section
+      // for sibling workers to share.
+      if (section->next.load(std::memory_order_relaxed) >= section->size) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    // Track the pool-thread high-watermark around actual task execution:
+    // it bounds how many tasks ever run on pool threads simultaneously.
+    const size_t now_active = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    size_t peak = peak_active_.load(std::memory_order_relaxed);
+    while (now_active > peak &&
+           !peak_active_.compare_exchange_weak(peak, now_active,
+                                               std::memory_order_relaxed)) {
+    }
+    const size_t ran = DrainSection(*section);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    pool_tasks_run_.fetch_add(ran, std::memory_order_relaxed);
+    {
+      // Fully claimed (possibly by us); drop it from the queue if still there.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty() && queue_.front() == section &&
+          section->next.load(std::memory_order_relaxed) >= section->size) {
+        queue_.pop_front();
+      }
+    }
+  }
+}
+
+void TaskPool::RunAndWait(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1 || workers_.empty()) {
+    // Nothing to hand off (or nobody to hand it to): run inline.
+    for (auto& t : tasks) t();
+    inline_tasks_run_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    return;
+  }
+  auto section = std::make_shared<Section>(tasks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(section);
+  }
+  work_cv_.notify_all();
+  // Claim-based execution: the caller drains its own section, so the
+  // section completes even if every pool worker is busy with other
+  // sections (no nested-wait deadlock, graceful degradation to serial).
+  const size_t ran = DrainSection(*section);
+  inline_tasks_run_.fetch_add(ran, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(section->mu);
+  section->done_cv.wait(lock, [&] { return section->done == section->size; });
+}
+
+MorselPlan MorselPlan::For(size_t n, int threads, size_t min_rows) {
+  MorselPlan plan;
+  plan.total = n;
+  plan.chunk = n;
+  if (threads < 2 || min_rows == 0 || n < 2 * min_rows) return plan;
+  // Oversplit relative to the thread count so stragglers even out, but
+  // never below min_rows per morsel.
+  const size_t by_threads = static_cast<size_t>(threads) * 4;
+  const size_t by_rows = n / min_rows;
+  size_t parts = by_threads < by_rows ? by_threads : by_rows;
+  if (parts < 2) parts = 2;
+  plan.partitions = parts;
+  plan.chunk = (n + parts - 1) / parts;
+  // Recompute the partition count the chunk size actually yields (ceil
+  // division can make trailing partitions empty otherwise).
+  plan.partitions = (n + plan.chunk - 1) / plan.chunk;
+  return plan;
+}
+
+}  // namespace ned

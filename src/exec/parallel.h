@@ -1,0 +1,146 @@
+/// \file parallel.h
+/// \brief Bounded task pool + deterministic morsel partitioning for
+/// intra-query parallelism.
+///
+/// Design goals (see docs/PARALLELISM.md for the full argument):
+///
+///  - *Bounded*: one TaskPool owns a fixed set of worker threads. Every
+///    parallel section in the process draws from the same pool, so total
+///    intra-query parallelism never exceeds the configured bound no matter
+///    how many requests fan out concurrently (the property ned_stress
+///    verifies via the peak_active() high-watermark).
+///  - *Deadlock-free under saturation*: RunAndWait() is claim-based -- the
+///    calling thread participates, draining tasks from its own section until
+///    none remain. A section therefore always finishes even when every pool
+///    thread is busy elsewhere (graceful degradation to serial execution),
+///    which permits nested sections without thread-count reasoning.
+///  - *Deterministic partitioning*: MorselPlan is a pure function of
+///    (row count, thread count, minimum morsel size). Which thread executes
+///    a morsel is scheduling-dependent; *what* each morsel computes and the
+///    order partitions are merged in is not. Output identity with serial
+///    evaluation is argued in the evaluator, not here.
+
+#ifndef NED_EXEC_PARALLEL_H_
+#define NED_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ned {
+
+/// A fixed set of worker threads executing claim-based task sections.
+///
+/// Thread model: RunAndWait may be called concurrently from any number of
+/// threads (the service's request workers each run their own sections).
+/// Tasks within one section run concurrently; the caller only returns once
+/// every task of *its* section has finished, so task closures may reference
+/// the caller's stack. A pool with zero threads is valid: the caller simply
+/// runs its whole section inline.
+class TaskPool {
+ public:
+  /// Creates `threads` workers (clamped at 0). The pool must outlive every
+  /// section run against it.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Runs every task in `tasks` and returns when all have completed. The
+  /// calling thread claims tasks too (it is the guarantee of progress);
+  /// idle pool workers pick up the rest. Tasks must not throw.
+  void RunAndWait(std::vector<std::function<void()>>& tasks);
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// High-watermark of tasks ever running concurrently on *pool* threads
+  /// (caller-inline execution is not counted: the caller's thread is
+  /// already accounted for by whoever owns it). ned_stress asserts this
+  /// never exceeds thread_count().
+  size_t peak_active() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+  /// Total tasks executed by pool threads (diagnostics).
+  size_t pool_tasks_run() const {
+    return pool_tasks_run_.load(std::memory_order_relaxed);
+  }
+  /// Total tasks executed inline by section callers (diagnostics).
+  size_t inline_tasks_run() const {
+    return inline_tasks_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One RunAndWait call: a shared claim counter over a task vector. The
+  /// vector lives on the caller's stack and the caller returns once
+  /// done == size, so late workers must only touch Section fields (kept
+  /// alive by shared_ptr) -- hence `size` is cached here rather than read
+  /// through `tasks` after the last task completes.
+  struct Section {
+    explicit Section(std::vector<std::function<void()>>& t)
+        : tasks(t), size(t.size()) {}
+    std::vector<std::function<void()>>& tasks;
+    const size_t size;
+    std::atomic<size_t> next{0};  // next unclaimed task index
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t done = 0;  // guarded by mu
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks from `section` until none remain unclaimed.
+  /// Returns the number of tasks this thread ran.
+  size_t DrainSection(Section& section);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Section>> queue_;  // sections with unclaimed tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<size_t> active_{0};       // pool threads currently in a task
+  std::atomic<size_t> peak_active_{0};  // high-watermark of active_
+  std::atomic<size_t> pool_tasks_run_{0};
+  std::atomic<size_t> inline_tasks_run_{0};
+};
+
+class ExecContext;
+
+/// Deterministic partitioning of `total` rows into at most `threads`-scaled
+/// morsels of at least `min_rows` each. A plan with partitions == 1 means
+/// "stay serial" (too little data, or parallelism disabled).
+struct MorselPlan {
+  size_t total = 0;
+  size_t partitions = 1;
+  size_t chunk = 0;  // rows per partition (last partition may be short)
+
+  /// Pure function of its arguments -- no globals, no hardware queries --
+  /// so a given (n, threads, min_rows) always yields the same plan.
+  static MorselPlan For(size_t n, int threads, size_t min_rows);
+
+  bool active() const { return partitions > 1; }
+  size_t begin(size_t i) const { return i * chunk; }
+  size_t end(size_t i) const {
+    const size_t e = (i + 1) * chunk;
+    return e < total ? e : total;
+  }
+};
+
+/// True when `ctx` carries a task pool and asks for more than one thread --
+/// the single switch every parallel path checks, so threads <= 1 (or no
+/// pool) takes the serial code byte-for-byte.
+bool ParallelActive(const ExecContext* ctx);
+
+/// Morsel plan for `n` input rows under `ctx` (an inactive plan when
+/// parallelism is off or the input is below the activation threshold).
+MorselPlan PlanFor(const ExecContext* ctx, size_t n);
+
+}  // namespace ned
+
+#endif  // NED_EXEC_PARALLEL_H_

@@ -5,11 +5,21 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "exec/parallel.h"
 #include "sql/binder.h"
 
 namespace ned {
 
 namespace {
+
+/// Pool backing intra-query parallelism: workers coordinate their own
+/// requests, the pool supplies the extra threads. 0 when serial.
+size_t ResolvePoolThreads(const ServiceOptions& options) {
+  if (options.threads_per_request <= 1) return 0;
+  if (options.parallel_pool_threads != 0) return options.parallel_pool_threads;
+  return static_cast<size_t>(options.workers) *
+         static_cast<size_t>(options.threads_per_request - 1);
+}
 
 double MsSince(Clock::TimePoint start, Clock::TimePoint end) {
   return std::chrono::duration<double, std::milli>(end - start).count();
@@ -75,6 +85,10 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
       breaker_(options.breaker.failure_threshold > 0
                    ? std::make_unique<CircuitBreaker>(options.breaker, clock_)
                    : nullptr),
+      task_pool_(options.threads_per_request > 1
+                     ? std::make_unique<TaskPool>(
+                           static_cast<int>(ResolvePoolThreads(options)))
+                     : nullptr),
       scheduler_(SchedulerOptions{options.queue_capacity,
                                   options.per_client_limit}),
       brownout_(options.brownout.enabled
@@ -265,6 +279,19 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   if (mem != 0) job->ctx->set_memory_budget(mem);
   if (job->request.inject_fault_at_step != 0) {
     job->ctx->InjectFailureAt(job->request.inject_fault_at_step);
+  }
+  if (task_pool_ != nullptr) {
+    // Intra-query parallelism: the request may force serial (threads = 1)
+    // or narrow its fan-out, but never widen past the service bound.
+    int threads = job->request.threads != 0 ? job->request.threads
+                                            : options_.threads_per_request;
+    threads = std::min(threads, options_.threads_per_request);
+    if (threads > 1) {
+      job->ctx->set_parallelism(task_pool_.get(), threads);
+      if (options_.parallel_min_rows != 0) {
+        job->ctx->set_parallel_min_rows(options_.parallel_min_rows);
+      }
+    }
   }
   job->future = job->promise.get_future().share();
 
@@ -598,6 +625,14 @@ LruStats WhyNotService::subtree_cache_stats() const {
 
 LruStats WhyNotService::answer_cache_stats() const {
   return answer_cache_ != nullptr ? answer_cache_->stats() : LruStats{};
+}
+
+int WhyNotService::parallel_pool_size() const {
+  return task_pool_ != nullptr ? task_pool_->thread_count() : 0;
+}
+
+size_t WhyNotService::parallel_peak_active() const {
+  return task_pool_ != nullptr ? task_pool_->peak_active() : 0;
 }
 
 }  // namespace ned

@@ -124,6 +124,21 @@ struct ServiceOptions {
   /// Brownout ladder policy (disabled unless brownout.enabled). A zero
   /// brownout.p99_target_ms inherits `default_deadline_ms`.
   BrownoutOptions brownout;
+  /// Intra-query parallelism: each request's evaluation may fan out onto up
+  /// to this many threads, itself included (1 = serial, the default; answers
+  /// are bit-identical either way). Coordinated against the worker pool:
+  /// all requests draw extra threads from one service-wide TaskPool, so
+  /// total intra-query parallelism stays bounded no matter how many
+  /// requests run concurrently. See docs/PARALLELISM.md.
+  int threads_per_request = 1;
+  /// Size of that shared pool; 0 = workers * (threads_per_request - 1)
+  /// (every worker is a coordinator contributing its own thread, the pool
+  /// supplies the rest).
+  size_t parallel_pool_threads = 0;
+  /// Morsel activation threshold handed to each request's ExecContext
+  /// (0 = engine default, kDefaultParallelMinRows). Tests lower it so small
+  /// relations still exercise the partitioned paths.
+  size_t parallel_min_rows = 0;
   /// Time source for deadlines, expiry, breaker probes and the watchdog.
   /// nullptr = the real steady clock. Tests inject a ManualClock here to
   /// make time-driven behaviour deterministic.
@@ -152,6 +167,11 @@ struct WhyNotRequest {
   /// jitter); derived per request, never process-global, so concurrent runs
   /// stay deterministic.
   uint64_t seed = 0;
+  /// Intra-query threads for this request: 0 = the service default
+  /// (ServiceOptions::threads_per_request), 1 = force serial; higher values
+  /// are clamped to the service default so one client cannot widen the
+  /// configured bound.
+  int threads = 0;
   /// Chaos knobs (see file comment for the semantics split).
   uint64_t inject_fault_at_step = 0;
   int inject_transient_failures = 0;
@@ -288,6 +308,12 @@ class WhyNotService {
   LruStats subtree_cache_stats() const;
   LruStats answer_cache_stats() const;
 
+  /// Threads in the shared intra-query pool (0 when threads_per_request <=
+  /// 1) and the high-watermark of pool threads ever concurrently running
+  /// intra-query work -- ned_stress asserts peak <= size.
+  int parallel_pool_size() const;
+  size_t parallel_peak_active() const;
+
  private:
   struct Job;
   using Scheduler = PriorityScheduler<std::shared_ptr<Job>>;
@@ -315,6 +341,10 @@ class WhyNotService {
   const std::unique_ptr<AnswerCache> answer_cache_;
   /// Internally locked (workers call End outside mu_); null when disabled.
   const std::unique_ptr<CircuitBreaker> breaker_;
+  /// Shared intra-query task pool (docs/PARALLELISM.md); null when
+  /// threads_per_request <= 1. Declared before the worker threads so it
+  /// outlives every evaluation.
+  const std::unique_ptr<TaskPool> task_pool_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

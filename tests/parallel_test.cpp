@@ -1,0 +1,321 @@
+/// \file parallel_test.cpp
+/// \brief Units for the intra-query parallelism layer: the TaskPool, the
+/// deterministic MorselPlan partitioner, worker-shard governance on
+/// ExecContext, and evaluator/engine-level serial-equivalence on small
+/// hand-built queries. The statistical bit-identity evidence lives in
+/// differential_test.cpp (1000-seed parallel-vs-serial sweep) and
+/// use_cases_test.cpp (golden thread-invariance); this file pins the
+/// mechanisms those sweeps rely on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/nedexplain.h"
+#include "core/report.h"
+#include "datasets/running_example.h"
+#include "exec/exec_context.h"
+#include "exec/parallel.h"
+#include "tests/test_util.h"
+
+namespace ned {
+namespace {
+
+using testing::MakeTinyDb;
+using testing::MustCompile;
+
+// ---- TaskPool --------------------------------------------------------------
+
+TEST(TaskPool, RunsEveryTaskExactlyOnce) {
+  TaskPool pool(3);
+  constexpr int kTasks = 100;
+  std::vector<std::atomic<int>> runs(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  pool.RunAndWait(tasks);
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(pool.pool_tasks_run() + pool.inline_tasks_run(),
+            static_cast<size_t>(kTasks));
+}
+
+TEST(TaskPool, ZeroThreadPoolRunsEverythingInline) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.emplace_back([&ran] { ran.fetch_add(1); });
+  pool.RunAndWait(tasks);
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(pool.pool_tasks_run(), 0u);
+  EXPECT_EQ(pool.inline_tasks_run(), 10u);
+  EXPECT_EQ(pool.peak_active(), 0u);
+}
+
+TEST(TaskPool, EmptyAndSingletonSectionsAreInline) {
+  TaskPool pool(2);
+  std::vector<std::function<void()>> none;
+  pool.RunAndWait(none);  // must not hang or crash
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> one;
+  one.emplace_back([&ran] { ran.fetch_add(1); });
+  pool.RunAndWait(one);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.pool_tasks_run(), 0u);  // a single task never dispatches
+}
+
+TEST(TaskPool, PeakActiveNeverExceedsThreadCount) {
+  TaskPool pool(2);
+  // Many concurrent callers, each fanning out more tasks than the pool has
+  // threads: the caller-helps design must complete everything while the
+  // high-watermark of *pool-thread* concurrency stays within the bound --
+  // the invariant ned_stress re-checks against the live service.
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<std::function<void()>> tasks;
+        for (int t = 0; t < 8; ++t) {
+          tasks.emplace_back([&total] { total.fetch_add(1); });
+        }
+        pool.RunAndWait(tasks);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(total.load(), kCallers * kRounds * 8);
+  EXPECT_LE(pool.peak_active(), static_cast<size_t>(pool.thread_count()));
+}
+
+TEST(TaskPool, NestedSectionsDoNotDeadlock) {
+  TaskPool pool(1);  // one worker: nested waits must degrade, not deadlock
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.emplace_back([&pool, &inner_runs] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.emplace_back([&inner_runs] { inner_runs.fetch_add(1); });
+      }
+      pool.RunAndWait(inner);
+    });
+  }
+  pool.RunAndWait(outer);
+  EXPECT_EQ(inner_runs.load(), 16);
+}
+
+// ---- MorselPlan ------------------------------------------------------------
+
+TEST(MorselPlan, StaysSerialBelowTheActivationThreshold) {
+  // Fewer than two full morsels of input: partitioning buys nothing.
+  EXPECT_FALSE(MorselPlan::For(0, 4, 8).active());
+  EXPECT_FALSE(MorselPlan::For(15, 4, 8).active());
+  EXPECT_TRUE(MorselPlan::For(16, 4, 8).active());
+  // Parallelism off (threads <= 1) is always serial, whatever the size.
+  EXPECT_FALSE(MorselPlan::For(1 << 20, 1, 8).active());
+  EXPECT_FALSE(MorselPlan::For(1 << 20, 0, 8).active());
+}
+
+TEST(MorselPlan, PartitionsExactlyCoverTheInput) {
+  for (size_t n : {16u, 17u, 100u, 1000u, 4096u, 4097u}) {
+    for (int threads : {2, 3, 4, 8}) {
+      for (size_t min_rows : {1u, 8u, 64u}) {
+        MorselPlan plan = MorselPlan::For(n, threads, min_rows);
+        ASSERT_EQ(plan.total, n);
+        size_t covered = 0;
+        for (size_t p = 0; p < plan.partitions; ++p) {
+          EXPECT_EQ(plan.begin(p), covered)
+              << "gap or overlap at partition " << p << " (n=" << n
+              << " threads=" << threads << " min=" << min_rows << ")";
+          EXPECT_GE(plan.end(p), plan.begin(p));
+          covered = plan.end(p);
+        }
+        EXPECT_EQ(covered, n);
+        // Fan-out is bounded: never an absurd number of tiny morsels.
+        EXPECT_LE(plan.partitions, static_cast<size_t>(threads) * 4);
+      }
+    }
+  }
+}
+
+TEST(MorselPlan, IsAPureFunctionOfItsArguments) {
+  MorselPlan a = MorselPlan::For(12345, 4, 64);
+  MorselPlan b = MorselPlan::For(12345, 4, 64);
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.chunk, b.chunk);
+  EXPECT_EQ(a.total, b.total);
+}
+
+TEST(MorselPlan, ParallelActiveRequiresPoolAndThreads) {
+  EXPECT_FALSE(ParallelActive(nullptr));
+  ExecContext bare;
+  EXPECT_FALSE(ParallelActive(&bare));
+  TaskPool pool(2);
+  ExecContext one_thread;
+  one_thread.set_parallelism(&pool, 1);
+  EXPECT_FALSE(ParallelActive(&one_thread));
+  ExecContext par;
+  par.set_parallelism(&pool, 2);
+  EXPECT_TRUE(ParallelActive(&par));
+  // PlanFor composes the switch with the activation threshold.
+  par.set_parallel_min_rows(8);
+  EXPECT_FALSE(PlanFor(&par, 15).active());
+  EXPECT_TRUE(PlanFor(&par, 16).active());
+  EXPECT_FALSE(PlanFor(&one_thread, 1 << 20).active());
+}
+
+// ---- ExecContext worker shards ---------------------------------------------
+
+TEST(WorkerShard, FoldChargesTheDeltaNotTheSnapshot) {
+  ExecContext parent;
+  parent.ChargeRows(6);
+  parent.ChargeBytes(600);
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  // The shard's counters start at the parent snapshot so its budget checks
+  // see parent-so-far + local...
+  EXPECT_EQ(shard.rows_charged(), 6u);
+  shard.ChargeRows(5);
+  shard.ChargeBytes(500);
+  // ...and folding adds only the shard's own work back.
+  parent.FoldShard(shard);
+  EXPECT_EQ(parent.rows_charged(), 11u);
+  EXPECT_EQ(parent.bytes_charged(), 1100u);
+}
+
+TEST(WorkerShard, ShardSeesCombinedRowBudget) {
+  ExecContext parent;
+  parent.set_row_budget(10);
+  parent.ChargeRows(6);
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  NED_EXPECT_OK(shard.CheckPoint());
+  shard.ChargeRows(5);  // 6 (parent snapshot) + 5 > 10
+  EXPECT_EQ(shard.CheckPoint().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WorkerShard, ParentCancellationStopsWorkers) {
+  ExecContext parent;
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  NED_EXPECT_OK(shard.CheckPoint());
+  parent.RequestCancel();
+  EXPECT_EQ(shard.CheckPoint().code(), StatusCode::kCancelled);
+}
+
+TEST(WorkerShard, InjectionStaysCoordinatorOnly) {
+  // Worker checkpoints must not consume (or trip on) the deterministic
+  // injection step space: injection is decided at coordinator fold points so
+  // a given step index means the same evaluation point at any thread count.
+  ExecContext parent;
+  parent.InjectFailureAt(1);
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  for (int i = 0; i < 10; ++i) NED_EXPECT_OK(shard.CheckPoint());
+  EXPECT_EQ(parent.CheckPoint().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WorkerShard, ShardInheritsDeadline) {
+  ExecContext parent;
+  parent.set_deadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  EXPECT_EQ(shard.CheckPoint().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(WorkerShard, ShardDoesNotInheritTheTaskPool) {
+  // No nested fan-out: a worker evaluating its morsel runs serial code.
+  TaskPool pool(2);
+  ExecContext parent;
+  parent.set_parallelism(&pool, 4);
+  ExecContext shard;
+  parent.BeginWorkerShard(&shard);
+  EXPECT_FALSE(ParallelActive(&shard));
+}
+
+// ---- end-to-end serial equivalence on hand-built queries -------------------
+
+/// Explains `question` serially and with (pool, threads) parallelism at a
+/// low activation threshold, asserting byte-identical rendered reports.
+void ExpectParallelMatchesSerial(const QueryTree& tree, const Database& db,
+                                 const WhyNotQuestion& question, int threads) {
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto serial = engine->Explain(question);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const std::string serial_report =
+      RenderExplainReport(*engine, question, *serial);
+
+  TaskPool pool(3);
+  ExecContext ctx;
+  ctx.set_parallelism(&pool, threads);
+  ctx.set_parallel_min_rows(2);  // tiny inputs must still fan out
+  auto par = engine->Explain(question, &ctx);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_TRUE(par->completeness.complete);
+  EXPECT_EQ(RenderExplainReport(*engine, question, *par), serial_report)
+      << "threads=" << threads;
+  EXPECT_EQ(par->answer.ToString(engine->last_input()),
+            serial->answer.ToString(engine->last_input()));
+  EXPECT_EQ(par->dir_total, serial->dir_total);
+  EXPECT_EQ(par->indir_total, serial->indir_total);
+}
+
+TEST(ParallelEval, JoinQueryMatchesSerialAtEveryThreadCount) {
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R, S WHERE R.k = S.k", db);
+  CTuple tc;
+  tc.Add("R.v", Value::Str("c"));
+  for (int threads : {1, 2, 4}) {
+    ExpectParallelMatchesSerial(tree, db, WhyNotQuestion(tc), threads);
+  }
+}
+
+TEST(ParallelEval, RunningExampleMatchesSerial) {
+  Database db;
+  NED_ASSERT_OK_AND_MOVE(db, BuildRunningExampleDb());
+  QueryTree tree;
+  NED_ASSERT_OK_AND_MOVE(tree, BuildRunningExampleTree(db));
+  for (int threads : {2, 4}) {
+    ExpectParallelMatchesSerial(tree, db, RunningExampleQuestion(), threads);
+  }
+}
+
+TEST(ParallelEval, ChargesMatchSerialExactly) {
+  // Governance accounting is part of the bit-identity contract: a parallel
+  // run must charge exactly the rows/bytes the serial run charges.
+  Database db = MakeTinyDb();
+  QueryTree tree = MustCompile("SELECT R.v FROM R, S WHERE R.k = S.k", db);
+  auto engine = NedExplainEngine::Create(&tree, &db);
+  ASSERT_TRUE(engine.ok());
+  CTuple tc;
+  tc.Add("R.v", Value::Str("zzz"));
+
+  ExecContext serial_ctx;
+  auto serial = engine->Explain(WhyNotQuestion(tc), &serial_ctx);
+  ASSERT_TRUE(serial.ok());
+
+  TaskPool pool(3);
+  ExecContext par_ctx;
+  par_ctx.set_parallelism(&pool, 4);
+  par_ctx.set_parallel_min_rows(1);
+  auto par = engine->Explain(WhyNotQuestion(tc), &par_ctx);
+  ASSERT_TRUE(par.ok());
+
+  EXPECT_EQ(par_ctx.rows_charged(), serial_ctx.rows_charged());
+  EXPECT_EQ(par_ctx.bytes_charged(), serial_ctx.bytes_charged());
+}
+
+}  // namespace
+}  // namespace ned
