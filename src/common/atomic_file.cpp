@@ -1,0 +1,92 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ned {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("cannot open directory", dir);
+  // Some filesystems (and some container mounts) reject fsync on a
+  // directory fd; the rename itself already happened, so treat that as
+  // best-effort rather than a failure.
+  (void)::fsync(fd);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    prefix = dir.substr(0, i == 0 ? 1 : i);
+    if (prefix.empty() || prefix == "/" || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      return ErrnoStatus("cannot create directory", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool fsync_data) {
+  // The temp name embeds the pid so concurrent writers (e.g. two difftest
+  // shards sharing an --out dir) never clobber each other's temp file; the
+  // final rename is last-writer-wins either way.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return ErrnoStatus("cannot open temp file", tmp);
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("short write to", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_data && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("rename failed onto", path);
+  }
+  if (fsync_data) return FsyncParentDir(path);
+  return Status::OK();
+}
+
+}  // namespace ned

@@ -1,0 +1,40 @@
+/// \file atomic_file.h
+/// \brief Crash-safe file writes: temp file + atomic rename.
+///
+/// `WriteFile` (csv.h) truncates in place, so a crash mid-write leaves a
+/// torn file where a good one used to be. Every on-disk artifact whose
+/// reader assumes integrity -- golden snapshots, difftest repros, the
+/// durable answer store's entries and manifest (src/persist/) -- goes
+/// through AtomicWriteFile instead: the content is written to a sibling
+/// temp file, optionally fsynced, and renamed over the target. POSIX
+/// rename(2) is atomic within a filesystem, so readers observe either the
+/// old complete file or the new complete file, never a mixture, whatever
+/// instant the process dies.
+
+#ifndef NED_COMMON_ATOMIC_FILE_H_
+#define NED_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace ned {
+
+/// Writes `content` to `path` via temp-file + rename. With `fsync_data` the
+/// temp file is fsynced before the rename and the containing directory
+/// after it, so the write survives power loss as well as process death
+/// (process death alone never loses written bytes; see docs/DURABILITY.md).
+/// On any failure the temp file is removed and `path` is left untouched.
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       bool fsync_data = false);
+
+/// fsyncs the directory containing `path` (durability of renames/creates).
+/// Best-effort: returns OK on filesystems that refuse directory fsync.
+Status FsyncParentDir(const std::string& path);
+
+/// Creates `dir` (and missing parents) like `mkdir -p`.
+Status EnsureDir(const std::string& dir);
+
+}  // namespace ned
+
+#endif  // NED_COMMON_ATOMIC_FILE_H_

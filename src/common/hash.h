@@ -1,0 +1,29 @@
+/// \file hash.h
+/// \brief Fixed, process-stable hash functions for on-disk artifacts.
+///
+/// Everything persisted to disk is checksummed or content-addressed with the
+/// two algorithms here: CRC-32 (IEEE 802.3, reflected 0xEDB88320) for frame
+/// integrity and FNV-1a 64-bit for content addressing (store entry names,
+/// database fingerprints). Both are fully specified algorithms with
+/// identical output on every compiler, platform and process run --
+/// std::hash is deliberately never used on disk because its value is
+/// unspecified and may change between libstdc++ versions.
+
+#ifndef NED_COMMON_HASH_H_
+#define NED_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ned {
+
+/// CRC-32 of `data`, continuing from `seed` (pass 0 to start).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// FNV-1a 64-bit hash of `data`, continuing from `seed`.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = kFnvOffsetBasis);
+
+}  // namespace ned
+
+#endif  // NED_COMMON_HASH_H_

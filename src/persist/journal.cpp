@@ -1,0 +1,436 @@
+#include "persist/journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/atomic_file.h"
+#include "persist/wire.h"
+
+namespace ned {
+
+namespace {
+
+// [u8 type][u32 payload_len][u64 seq] before the payload, u32 crc after.
+constexpr size_t kHeaderBytes = 1 + 4 + 8;
+constexpr size_t kCrcBytes = 4;
+// A payload longer than this cannot be legitimate (the largest record is an
+// ACCEPT carrying one encoded request); treat the length field as corrupt
+// rather than trusting a flipped bit to demand a 3 GB allocation.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status CrashStatus(const char* where) {
+  return Status::Unavailable(std::string("crash injected: ") + where);
+}
+
+bool ParseSegmentIndex(const std::string& name, uint64_t* index) {
+  // seg-NNNNNN.wal (index may outgrow six digits; parse whatever is there).
+  if (name.size() < 9 || name.compare(0, 4, "seg-") != 0) return false;
+  if (name.compare(name.size() - 4, 4, ".wal") != 0) return false;
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *index = v;
+  return true;
+}
+
+Result<std::vector<uint64_t>> ListSegments(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoStatus("cannot open journal dir", dir);
+  std::vector<uint64_t> indices;
+  while (dirent* entry = ::readdir(d)) {
+    uint64_t index = 0;
+    if (ParseSegmentIndex(entry->d_name, &index)) indices.push_back(index);
+  }
+  ::closedir(d);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("cannot open", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read failed for", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace
+
+constexpr char Journal::kMagic[8];
+
+std::string Journal::SegmentName(uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.wal",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::string Journal::FrameRecord(JournalRecordType type, uint64_t seq,
+                                 std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size() + kCrcBytes);
+  wire::PutU8(&frame, static_cast<uint8_t>(type));
+  wire::PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  wire::PutU64(&frame, seq);
+  frame.append(payload.data(), payload.size());
+  wire::PutU32(&frame, Crc32(frame));
+  return frame;
+}
+
+Journal::Journal(const JournalOptions& options) : options_(options) {}
+
+Result<std::unique_ptr<Journal>> Journal::Open(
+    const JournalOptions& options, std::vector<JournalRecord>* recovered) {
+  NED_CHECK(recovered != nullptr);
+  recovered->clear();
+  NED_RETURN_NOT_OK(EnsureDir(options.dir));
+  NED_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
+                       ListSegments(options.dir));
+
+  std::unique_ptr<Journal> journal(new Journal(options));
+  JournalStats& stats = journal->stats_;
+  uint64_t max_seq = 0;
+  bool corrupted = false;  // once set, every later segment is deleted
+
+  for (size_t si = 0; si < segments.size(); ++si) {
+    const std::string path =
+        options.dir + "/" + SegmentName(segments[si]);
+    if (corrupted) {
+      // A valid record after a corruption point could fabricate history
+      // out of order; drop the whole segment instead.
+      (void)::unlink(path.c_str());
+      ++stats.dropped_segments;
+      continue;
+    }
+    NED_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+    size_t pos = 0;
+    if (data.size() < sizeof(kMagic) ||
+        std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+      // Header never made it (crash between create and magic) or is
+      // corrupt: nothing in this segment is trustworthy.
+      corrupted = true;
+      stats.truncated_bytes += data.size();
+      (void)::unlink(path.c_str());
+      ++stats.dropped_segments;
+      continue;
+    }
+    pos = sizeof(kMagic);
+    while (pos < data.size()) {
+      const size_t start = pos;
+      bool valid = false;
+      if (data.size() - start >= kHeaderBytes + kCrcBytes) {
+        wire::Reader header(
+            std::string_view(data).substr(start, kHeaderBytes));
+        uint8_t type = 0;
+        uint32_t len = 0;
+        uint64_t seq = 0;
+        header.GetU8(&type);
+        header.GetU32(&len);
+        header.GetU64(&seq);
+        if (header.ok() && type >= 1 && type <= 3 &&
+            len <= kMaxPayloadBytes &&
+            data.size() - start >= kHeaderBytes + len + kCrcBytes) {
+          const std::string_view framed =
+              std::string_view(data).substr(start, kHeaderBytes + len);
+          wire::Reader crc_reader(std::string_view(data).substr(
+              start + kHeaderBytes + len, kCrcBytes));
+          uint32_t stored_crc = 0;
+          crc_reader.GetU32(&stored_crc);
+          if (Crc32(framed) == stored_crc) {
+            JournalRecord record;
+            record.type = static_cast<JournalRecordType>(type);
+            record.seq = seq;
+            record.payload = std::string(framed.substr(kHeaderBytes));
+            max_seq = std::max(max_seq, seq);
+            recovered->push_back(std::move(record));
+            ++stats.recovered_records;
+            pos = start + kHeaderBytes + len + kCrcBytes;
+            valid = true;
+          }
+        }
+      }
+      if (!valid) {
+        // First bad frame: truncate here. Everything before is an exact
+        // prefix of the append history; everything after is untrusted.
+        corrupted = true;
+        stats.truncated_bytes += data.size() - start;
+        if (::truncate(path.c_str(), static_cast<off_t>(start)) != 0) {
+          return ErrnoStatus("cannot truncate corrupt segment", path);
+        }
+        break;
+      }
+    }
+  }
+
+  journal->next_seq_ = max_seq + 1;
+  const uint64_t fresh_index = segments.empty() ? 0 : segments.back() + 1;
+  {
+    std::lock_guard<std::mutex> lock(journal->mu_);
+    NED_RETURN_NOT_OK(journal->OpenFreshSegmentLocked(fresh_index));
+  }
+  if (options.fsync == FsyncPolicy::kEveryNMs) {
+    journal->flusher_ = std::thread([j = journal.get()] { j->FlusherMain(); });
+  }
+  return journal;
+}
+
+Journal::~Journal() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_flusher_ = true;
+    }
+    flusher_cv_.notify_all();
+    flusher_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    (void)SyncLocked();
+    // Trim the preallocation: a cleanly closed segment is exactly its
+    // records (recovery discards a zero tail anyway, this just keeps
+    // on-disk journals byte-exact for tools and tests).
+    (void)::ftruncate(fd_, static_cast<off_t>(segment_size_));
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Journal::OpenFreshSegmentLocked(uint64_t index) {
+  const std::string path = options_.dir + "/" + SegmentName(index);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return ErrnoStatus("cannot create segment", path);
+  // Zero-fill the whole segment up front and fsync it once (PostgreSQL's
+  // wal_init_zero). Appends then overwrite already-initialized blocks in
+  // place: no i_size extension and no unwritten-extent conversion, so the
+  // lazy flusher's fdatasync is a pure data flush that forces no
+  // filesystem-journal commit -- those commits stall every concurrent
+  // metadata op (the answer store's create+rename among them) and show up
+  // directly in client Submit tail latency. posix_fallocate is NOT enough:
+  // it leaves extents unwritten, and converting them on first write is
+  // itself a metadata change that fdatasync must commit. Zeros past the
+  // written tail decode as invalid frames, which recovery already truncates
+  // away; a cleanly closed journal trims them in the destructor. Best
+  // effort: if initialization fails (ENOSPC and friends), fall back to
+  // grow-on-write.
+  {
+    const size_t target =
+        std::max<size_t>(options_.segment_bytes, sizeof(kMagic));
+    static const std::string zeros(1u << 16, '\0');
+    size_t filled = 0;
+    bool fill_ok = true;
+    while (filled < target) {
+      const size_t n = std::min(zeros.size(), target - filled);
+      const ssize_t w = ::write(fd, zeros.data(), n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        fill_ok = false;
+        break;
+      }
+      filled += static_cast<size_t>(w);
+    }
+    if (fill_ok) {
+      (void)::fsync(fd);  // full fsync: the allocation is metadata
+    } else {
+      (void)::ftruncate(fd, 0);
+    }
+    if (::lseek(fd, 0, SEEK_SET) != 0) {
+      ::close(fd);
+      return ErrnoStatus("cannot rewind fresh segment", path);
+    }
+  }
+  fd_ = fd;
+  segment_index_ = index;
+  segment_size_ = 0;
+  synced_size_ = 0;
+  if (options_.crash != nullptr &&
+      options_.crash->ShouldCrash(CrashPoint::kJournalBeforeSegmentMagic)) {
+    broken_ = true;
+    return CrashStatus("before segment magic");
+  }
+  NED_RETURN_NOT_OK(WriteRawLocked(std::string_view(kMagic, sizeof(kMagic))));
+  // The magic and the file's very existence must survive before any record
+  // is acknowledged out of this segment.
+  NED_RETURN_NOT_OK(SyncLocked());
+  (void)FsyncParentDir(path);
+  return Status::OK();
+}
+
+Status Journal::WriteRawLocked(std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return ErrnoStatus("write failed for segment",
+                         SegmentName(segment_index_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  segment_size_ += bytes.size();
+  stats_.bytes_written += bytes.size();
+  return Status::OK();
+}
+
+Status Journal::SyncLocked() {
+  if (fd_ < 0) return Status::Internal("journal closed");
+  if (synced_size_ == segment_size_) return Status::OK();
+  // fdatasync, not fsync: an append-only log needs the data and the file
+  // size durable (both covered), not the inode's timestamps -- and skipping
+  // the metadata commit is markedly cheaper on ext4.
+  if (::fdatasync(fd_) != 0) {
+    broken_ = true;
+    return ErrnoStatus("fdatasync failed for segment",
+                       SegmentName(segment_index_));
+  }
+  synced_size_ = segment_size_;
+  ++stats_.syncs;
+  return Status::OK();
+}
+
+Status Journal::Append(JournalRecordType type, std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (broken_) return Status::Unavailable("journal broken by earlier failure");
+  if (fd_ < 0) return Status::Internal("journal closed");
+  CrashInjector* crash = options_.crash;
+
+  if (crash != nullptr && crash->ShouldCrash(CrashPoint::kJournalBeforeAppend)) {
+    broken_ = true;
+    return CrashStatus("before append");
+  }
+  const std::string frame = FrameRecord(type, next_seq_, payload);
+  if (crash != nullptr && crash->ShouldCrash(CrashPoint::kJournalTornAppend)) {
+    // Write a strict prefix of the frame: exactly what a crash mid-write
+    // leaves behind. Recovery must truncate it away.
+    const size_t torn = std::max<size_t>(1, frame.size() / 2);
+    (void)WriteRawLocked(std::string_view(frame).substr(0, torn));
+    broken_ = true;
+    return CrashStatus("torn append");
+  }
+  NED_RETURN_NOT_OK(WriteRawLocked(frame));
+  if (crash != nullptr &&
+      crash->ShouldCrash(CrashPoint::kJournalUnsyncedAppend)) {
+    // Simulate power loss: bytes written but never fsynced vanish. Roll the
+    // file back to the last synced offset.
+    (void)::ftruncate(fd_, static_cast<off_t>(synced_size_));
+    broken_ = true;
+    return CrashStatus("unsynced append lost to power loss");
+  }
+  ++next_seq_;
+  ++stats_.appends;
+  if (options_.fsync == FsyncPolicy::kEveryRecord) {
+    NED_RETURN_NOT_OK(SyncLocked());
+  }
+
+  if (segment_size_ >= options_.segment_bytes) {
+    // Rotate: the closing segment is always fsynced so rotation never
+    // weakens durability below the configured policy. The flusher may be
+    // fsyncing this fd outside the lock; it must finish before the close.
+    while (sync_in_progress_) sync_cv_.wait(lock);
+    NED_RETURN_NOT_OK(SyncLocked());
+    ::close(fd_);
+    fd_ = -1;
+    if (crash != nullptr &&
+        crash->ShouldCrash(CrashPoint::kJournalBetweenSegments)) {
+      broken_ = true;
+      return CrashStatus("between segments");
+    }
+    NED_RETURN_NOT_OK(OpenFreshSegmentLocked(segment_index_ + 1));
+    ++stats_.rotations;
+  }
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (broken_) return Status::Unavailable("journal broken by earlier failure");
+  // An in-flight flusher fsync may already cover (part of) the dirty range;
+  // let it publish before deciding whether anything is left to sync.
+  while (sync_in_progress_) sync_cv_.wait(lock);
+  return SyncLocked();
+}
+
+Status Journal::DropOldSegments() {
+  uint64_t current = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current = segment_index_;
+  }
+  NED_ASSIGN_OR_RETURN(std::vector<uint64_t> segments,
+                       ListSegments(options_.dir));
+  for (uint64_t index : segments) {
+    if (index >= current) continue;
+    const std::string path = options_.dir + "/" + SegmentName(index);
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("cannot delete old segment", path);
+    }
+  }
+  return Status::OK();
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Journal::FlusherMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.fsync_interval_ms));
+  while (!stop_flusher_) {
+    flusher_cv_.wait_for(lock, interval,
+                         [this] { return stop_flusher_; });
+    if (stop_flusher_) break;
+    if (fd_ < 0 || broken_ || synced_size_ == segment_size_) continue;
+    // fsync with the lock RELEASED: a lazy-mode flush must never stall
+    // Append (the service's Submit path holds its own lock across Append,
+    // so a blocked Append here becomes a blocked client). Capture the fd
+    // and target offset, sync, re-lock, publish. Rotation waits on
+    // sync_in_progress_ before closing the fd, so it cannot be closed (or
+    // reused) under the fsync.
+    sync_in_progress_ = true;
+    const int fd = fd_;
+    const uint64_t target = segment_size_;
+    lock.unlock();
+    const int rc = ::fdatasync(fd);
+    lock.lock();
+    sync_in_progress_ = false;
+    sync_cv_.notify_all();
+    if (fd != fd_) continue;  // defensive: a close site that did not wait
+    if (rc != 0) {
+      broken_ = true;
+      continue;
+    }
+    synced_size_ = std::max(synced_size_, target);
+    ++stats_.syncs;
+  }
+}
+
+}  // namespace ned

@@ -24,6 +24,33 @@ Result<Catalog::Snapshot> Catalog::GetSnapshot(const std::string& name) const {
   return Snapshot{it->second.db, it->second.version};
 }
 
+Result<Catalog::Snapshot> Catalog::GetSnapshotWithFingerprint(
+    const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("no such database: " + name);
+    }
+    if (it->second.fingerprint_version == it->second.version) {
+      return Snapshot{it->second.db, it->second.version,
+                      it->second.fingerprint};
+    }
+  }
+  // Cache miss: hash off-lock (the snapshot is immutable), then publish the
+  // result if the entry is still at the version we hashed. Concurrent
+  // misses duplicate the work but always cache a correct pair.
+  NED_ASSIGN_OR_RETURN(Snapshot snapshot, GetSnapshot(name));
+  snapshot.content_fingerprint = DatabaseContentFingerprint(*snapshot.db);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.version == snapshot.version) {
+    it->second.fingerprint = snapshot.content_fingerprint;
+    it->second.fingerprint_version = snapshot.version;
+  }
+  return snapshot;
+}
+
 Status Catalog::SwapDatabase(const std::string& name, Database db) {
   auto snapshot = std::make_shared<const Database>(std::move(db));
   std::lock_guard<std::mutex> lock(mu_);

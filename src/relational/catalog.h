@@ -37,6 +37,11 @@ class Catalog {
   struct Snapshot {
     std::shared_ptr<const Database> db;
     uint64_t version = 0;
+    /// Stable content fingerprint (DatabaseContentFingerprint), filled only
+    /// by GetSnapshotWithFingerprint; 0 from plain GetSnapshot. Unlike
+    /// `version`, it survives process restarts, so it is what durable cache
+    /// keys embed.
+    uint64_t content_fingerprint = 0;
   };
 
   Catalog() = default;
@@ -49,6 +54,13 @@ class Catalog {
 
   /// The current snapshot of `name`; error when absent.
   Result<Snapshot> GetSnapshot(const std::string& name) const;
+
+  /// GetSnapshot plus a filled `content_fingerprint`. The fingerprint is
+  /// computed off-lock on first demand per published version and cached on
+  /// the entry, so steady-state calls cost one map lookup; only the first
+  /// request after a reload pays the O(data) hash. Used by the durability
+  /// layer; services with persistence off never pay for it.
+  Result<Snapshot> GetSnapshotWithFingerprint(const std::string& name) const;
 
   /// Replaces the whole instance under `name` with `db`, bumping the
   /// version. In-flight snapshot holders are unaffected.
@@ -75,6 +87,12 @@ class Catalog {
   struct Entry {
     std::shared_ptr<const Database> db;
     uint64_t version = 0;
+    /// Cached DatabaseContentFingerprint of `db`, valid only when
+    /// `fingerprint_version == version` (reloads invalidate by bumping
+    /// the version, never by clearing this field). Mutable: filling the
+    /// cache is logically const (guarded by mu_ like everything else).
+    mutable uint64_t fingerprint = 0;
+    mutable uint64_t fingerprint_version = 0;
   };
 
   mutable std::mutex mu_;

@@ -1,6 +1,9 @@
 #include "relational/database.h"
 
+#include <cstring>
+
 #include "common/csv.h"
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace ned {
@@ -136,6 +139,67 @@ std::string Database::ToString() const {
            rel.schema().ToString() + "\n";
   }
   return out;
+}
+
+namespace {
+
+// Hashes with explicit type tags and length prefixes so distinct structures
+// never collide by concatenation (e.g. rows ("ab","c") vs ("a","bc")).
+uint64_t HashU64(uint64_t v, uint64_t h) {
+  for (int i = 0; i < 8; ++i) {
+    const char byte = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    h = Fnv1a64(std::string_view(&byte, 1), h);
+  }
+  return h;
+}
+
+uint64_t HashStr(const std::string& s, uint64_t h) {
+  h = HashU64(s.size(), h);
+  return Fnv1a64(s, h);
+}
+
+uint64_t HashValue(const Value& v, uint64_t h) {
+  h = HashU64(static_cast<uint64_t>(v.type()), h);
+  switch (v.type()) {
+    case ValueType::kNull:
+      return h;
+    case ValueType::kInt:
+      return HashU64(static_cast<uint64_t>(v.as_int()), h);
+    case ValueType::kDouble: {
+      // Raw bit pattern: the fingerprint must distinguish 0.0 from -0.0
+      // exactly when the stored bytes differ.
+      uint64_t bits = 0;
+      const double d = v.as_double();
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashU64(bits, h);
+    }
+    case ValueType::kString:
+      return HashStr(v.as_string(), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t DatabaseContentFingerprint(const Database& db) {
+  uint64_t h = kFnvOffsetBasis;
+  const std::vector<std::string> names = db.RelationNames();
+  h = HashU64(names.size(), h);
+  for (const std::string& name : names) {
+    const Relation* rel = db.GetRelation(name).value();
+    h = HashStr(name, h);
+    h = HashU64(rel->schema().size(), h);
+    for (const Attribute& attr : rel->schema().attributes()) {
+      h = HashStr(attr.qualifier, h);
+      h = HashStr(attr.name, h);
+    }
+    h = HashU64(rel->size(), h);
+    for (const Tuple& row : rel->rows()) {
+      for (const Value& v : row.values()) h = HashValue(v, h);
+    }
+  }
+  return h;
 }
 
 }  // namespace ned

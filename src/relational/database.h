@@ -60,6 +60,17 @@ class Database {
   std::map<std::string, Relation> relations_;
 };
 
+/// Stable FNV-1a 64 fingerprint of the database's full content: relation
+/// names, schemas and every row value, in sorted relation order. Unlike
+/// Relation::data_version (a process-local monotone stamp that restarts at
+/// an arbitrary point each run) and Catalog snapshot versions (which reset
+/// to 1 on restart), the fingerprint depends only on the bytes of the data,
+/// so it is the component of a durable cache key that must stay valid
+/// across process restarts (see src/persist/answer_store.h). Two databases
+/// with equal fingerprints have identical content for why-not purposes;
+/// the converse holds up to hash collision (2^-64 per pair).
+uint64_t DatabaseContentFingerprint(const Database& db);
+
 }  // namespace ned
 
 #endif  // NED_RELATIONAL_DATABASE_H_

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "exec/parallel.h"
+#include "persist/wire.h"
 #include "sql/binder.h"
 
 namespace ned {
@@ -58,6 +59,17 @@ struct WhyNotService::Job {
   /// Normalized content key for the circuit breaker; empty when breakers
   /// are disabled.
   std::string breaker_key;
+  /// Restart-stable durable-store key; empty when persistence is off or
+  /// the request is excluded from the store (bypass, chaos knobs).
+  std::string store_key;
+  /// Set by Execute when the answer was durably stored; recorded in the
+  /// COMPLETE journal record so recovery knows the store has it.
+  bool stored_answer = false;
+  /// Set by Drain/Shutdown on queued requests they fail: suppresses the
+  /// SHED record a non-final finalize would otherwise journal, leaving the
+  /// ACCEPT unresolved on purpose -- that is what makes the request
+  /// recoverable.
+  bool keep_recoverable = false;
   std::shared_ptr<ExecContext> ctx;
   Clock::TimePoint submit_time;
   Clock::TimePoint deadline;
@@ -98,6 +110,30 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
   NED_CHECK_MSG(catalog_ != nullptr, "service needs a catalog");
   NED_CHECK_MSG(options_.workers > 0, "service needs at least one worker");
   NED_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
+  if (!options_.persist_dir.empty()) {
+    // Durability must be trustworthy or absent: an unopenable journal or
+    // store directory is a deployment error, not something to run without.
+    JournalOptions jopts;
+    jopts.dir = options_.persist_dir + "/journal";
+    jopts.segment_bytes = options_.journal_segment_bytes;
+    jopts.fsync = options_.journal_fsync;
+    jopts.fsync_interval_ms = options_.journal_fsync_interval_ms;
+    jopts.crash = options_.crash_injector;
+    auto journal = Journal::Open(jopts, &recovered_records_);
+    NED_CHECK_MSG(journal.ok(),
+                  "cannot open request journal: " + journal.status().message());
+    journal_ = std::move(*journal);
+    if (options_.persist_answers) {
+      AnswerStoreOptions sopts;
+      sopts.dir = options_.persist_dir + "/store";
+      sopts.fsync = options_.persist_fsync_store;
+      sopts.crash = options_.crash_injector;
+      auto store = AnswerStore::Open(sopts);
+      NED_CHECK_MSG(store.ok(),
+                    "cannot open answer store: " + store.status().message());
+      answer_store_ = std::move(*store);
+    }
+  }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -112,6 +148,28 @@ int64_t WhyNotService::SuggestedBackoffLocked() const {
       1 + static_cast<int64_t>(scheduler_.size()) / options_.workers;
   return std::min(options_.base_backoff_ms * load_factor,
                   options_.max_backoff_ms);
+}
+
+void WhyNotService::RememberCompletedLocked(const std::string& key,
+                                            const WhyNotResponse& response) {
+  if (options_.completed_cache_capacity == 0) return;
+  completed_fifo_.push_back(key);
+  completed_[key] = response;
+  while (completed_fifo_.size() > options_.completed_cache_capacity) {
+    completed_.erase(completed_fifo_.front());
+    completed_fifo_.pop_front();
+  }
+}
+
+void WhyNotService::JournalShedLocked(const std::string& key) {
+  if (journal_ == nullptr) return;
+  std::string payload;
+  wire::PutStr(&payload, key);
+  if (journal_->Append(JournalRecordType::kShed, payload).ok()) {
+    ++stats_.journaled_sheds;
+  } else {
+    ++stats_.journal_append_failures;
+  }
 }
 
 void WhyNotService::UpdateBrownoutLocked() {
@@ -175,8 +233,12 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   // Pin the catalog snapshot at admission: this request sees the database
   // as of now, whatever reloads happen while it waits or runs. Pinned
   // before the load sheds because an answer-cache hit (below) is served
-  // without consuming queue or memory capacity.
-  auto snapshot = catalog_->GetSnapshot(request.db_name);
+  // without consuming queue or memory capacity. With persistence on, the
+  // snapshot also carries the content fingerprint the durable key embeds
+  // (cached per version -- only the first pin after a reload hashes).
+  auto snapshot = answer_store_ != nullptr
+                      ? catalog_->GetSnapshotWithFingerprint(request.db_name)
+                      : catalog_->GetSnapshot(request.db_name);
   if (!snapshot.ok()) {
     sub.status = snapshot.status();  // permanent: do not retry
     return sub;
@@ -214,14 +276,7 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
       // response, so a resubmission is served from the key cache. Not a
       // `completed` execution, though -- the exactly-once books count only
       // admitted work.
-      if (options_.completed_cache_capacity > 0) {
-        completed_fifo_.push_back(request.key);
-        completed_[request.key] = response;
-        while (completed_fifo_.size() > options_.completed_cache_capacity) {
-          completed_.erase(completed_fifo_.front());
-          completed_fifo_.pop_front();
-        }
-      }
+      RememberCompletedLocked(request.key, response);
       std::promise<WhyNotResponse> ready;
       ready.set_value(std::move(response));
       sub.status = Status::OK();
@@ -231,6 +286,45 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     ++stats_.answer_cache_misses;
   } else if (answer_cache_ != nullptr) {
     ++stats_.answer_cache_bypass;
+  }
+
+  // Durable answer store: an answer computed for identical database
+  // *content* -- possibly by a previous process incarnation -- is replayed
+  // without admission or execution. Keyed by content fingerprint, so a
+  // reload that changed the data can never hit; a reload that reproduced
+  // identical bytes still does. The hit also warms the in-memory answer
+  // cache so subsequent submissions skip the file read.
+  std::string store_key;
+  if (answer_store_ != nullptr && !request.bypass_answer_cache &&
+      request.inject_fault_at_step == 0 &&
+      request.inject_transient_failures == 0) {
+    store_key = MakeDurableAnswerKey(
+        request.db_name, snapshot->content_fingerprint, request.sql,
+        request.question.ToString(), rows, mem,
+        EngineOptionBits(request.engine_options));
+    auto stored = answer_store_->Lookup(store_key);
+    if (stored.ok()) {
+      ++stats_.answer_store_hits;
+      WhyNotResponse response;
+      response.key = request.key;
+      response.status = Status::OK();
+      response.answer = std::move(*stored);
+      response.snapshot_version = snapshot->version;
+      response.served_from_answer_store = true;
+      if (answer_cache_ != nullptr && !answer_key.empty()) {
+        auto cached = std::make_shared<CachedAnswer>();
+        cached->summary = response.answer;
+        cached->snapshot_version = snapshot->version;
+        answer_cache_->Insert(answer_key, std::move(cached));
+      }
+      RememberCompletedLocked(request.key, response);
+      std::promise<WhyNotResponse> ready;
+      ready.set_value(std::move(response));
+      sub.status = Status::OK();
+      sub.response = ready.get_future().share();
+      return sub;
+    }
+    ++stats_.answer_store_misses;
   }
 
   // Brownout L3: the deepest rung stops admitting non-interactive work
@@ -266,6 +360,7 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   job->snapshot = *snapshot;
   job->answer_cache_key = std::move(answer_key);
   job->breaker_key = std::move(breaker_key);
+  job->store_key = std::move(store_key);
   job->submit_time = clock_->Now();
   const int64_t deadline_ms = job->request.deadline_ms != 0
                                   ? job->request.deadline_ms
@@ -295,20 +390,42 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   }
   job->future = job->promise.get_future().share();
 
+  // Write-ahead: the ACCEPT record is journaled before admission, so a
+  // crash at any later instant finds the request recoverable. Appended
+  // under mu_, which also orders it before any COMPLETE the workers could
+  // journal (they need mu_ to pop the job). Fail-closed: if the journal
+  // cannot append, the request is shed rather than accepted unjournaled.
+  if (journal_ != nullptr) {
+    const Status journaled = journal_->Append(JournalRecordType::kAccept,
+                                              EncodeRequest(job->request));
+    if (!journaled.ok()) {
+      ++stats_.journal_append_failures;
+      sub.status = Status::Unavailable(
+          StrCat("journal unavailable: ", journaled.message()));
+      sub.retry_after_ms = SuggestedBackoffLocked();
+      return sub;
+    }
+    ++stats_.journaled_accepts;
+  }
+
   // Admission through the priority scheduler: strict class priority, EDF
   // within a class, per-client fair share. The occupancy slot taken here is
-  // held until Finalize releases it.
+  // held until Finalize releases it. Sheds below resolve the just-written
+  // ACCEPT with a SHED record -- the client saw the rejection, so the
+  // request must not resurrect at recovery.
   const Scheduler::Admit admit = scheduler_.TryAdmit(Scheduler::Entry{
       job, job->request.priority, job->deadline, job->request.client_id});
   switch (admit) {
     case Scheduler::Admit::kQueueFull:
       ++stats_.shed_queue_full;
+      JournalShedLocked(job->request.key);
       sub.status = Status::Unavailable(
           StrCat("overloaded: queue full (", scheduler_.size(), " queued)"));
       sub.retry_after_ms = SuggestedBackoffLocked();
       return sub;
     case Scheduler::Admit::kClientQuota:
       ++stats_.shed_client_quota;
+      JournalShedLocked(job->request.key);
       sub.status = Status::Unavailable(
           StrCat("fair share: client \"", job->request.client_id, "\" has ",
                  scheduler_.occupancy(job->request.client_id),
@@ -491,6 +608,28 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
       ++stats_.partial_not_cached;
     }
   }
+  // Durable spill, under the same honesty gates as the in-memory cache:
+  // only complete, never-degraded answers -- a store hit must always be
+  // byte-identical to an uninterrupted recomputation. Runs off the service
+  // mutex (the store locks itself), so entry-file IO never blocks
+  // admission.
+  if (answer_store_ != nullptr && !job->store_key.empty() &&
+      response.status.ok() && response.answer.complete &&
+      response.answer.degradation_level == 0) {
+    StoreManifestEntry manifest;
+    manifest.db_name = req.db_name;
+    manifest.content_fingerprint = job->snapshot.content_fingerprint;
+    for (const std::string& name : db.RelationNames()) {
+      const Relation* rel = db.GetRelation(name).value();
+      manifest.relations.push_back(
+          {name, rel->data_version(), rel->size()});
+    }
+    if (answer_store_->Put(job->store_key, response.answer, manifest).ok()) {
+      job->stored_answer = true;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.answer_store_puts;
+    }
+  }
   finish(/*final=*/true);
 }
 
@@ -503,18 +642,33 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
     // The fair-share occupancy slot taken at TryAdmit frees here, whatever
     // path the job took (executed, expired, fast-failed or drained).
     scheduler_.Release(job->request.client_id);
+    // Journal the resolution before the promise resolves: once a client
+    // observes a response, the journal must already know this ACCEPT is
+    // settled (final -> COMPLETE, transient failure -> SHED -- the client
+    // got a retryable answer and will resubmit under a fresh ACCEPT).
+    // Queued requests failed by Drain/Shutdown set keep_recoverable: no
+    // record at all, leaving the ACCEPT open for Recover().
+    if (journal_ != nullptr) {
+      if (final) {
+        std::string payload;
+        wire::PutStr(&payload, job->request.key);
+        wire::PutU8(&payload, static_cast<uint8_t>(response.status.code()));
+        wire::PutU8(&payload, job->stored_answer ? 1 : 0);
+        wire::PutStr(&payload, job->store_key);
+        if (journal_->Append(JournalRecordType::kComplete, payload).ok()) {
+          ++stats_.journaled_completes;
+        } else {
+          ++stats_.journal_append_failures;
+        }
+      } else if (!job->keep_recoverable) {
+        JournalShedLocked(job->request.key);
+      }
+    }
     if (final) {
       ++stats_.completed;
       if (response.expired_in_queue) ++stats_.expired_in_queue;
       attempts_.erase(job->request.key);
-      if (options_.completed_cache_capacity > 0) {
-        completed_fifo_.push_back(job->request.key);
-        completed_[job->request.key] = response;
-        while (completed_fifo_.size() > options_.completed_cache_capacity) {
-          completed_.erase(completed_fifo_.front());
-          completed_fifo_.pop_front();
-        }
-      }
+      RememberCompletedLocked(job->request.key, response);
     }
     // Not final: the key leaves the books entirely, so a retry with the
     // same key re-executes (its attempt counter persists in attempts_).
@@ -577,6 +731,10 @@ void WhyNotService::Shutdown(bool drain) {
   work_cv_.notify_all();
   watchdog_cv_.notify_all();
   for (const auto& job : to_fail) {
+    // The client sees a retryable failure, but the journal ACCEPT stays
+    // unresolved: an abrupt shutdown is exactly the case recovery exists
+    // for, so these requests re-enqueue at the next start.
+    job->keep_recoverable = true;
     WhyNotResponse response;
     response.key = job->request.key;
     response.status = Status::Unavailable("service shut down before execution");
@@ -586,6 +744,7 @@ void WhyNotService::Shutdown(bool drain) {
     if (worker.joinable()) worker.join();
   }
   if (watchdog_.joinable()) watchdog_.join();
+  if (journal_ != nullptr) (void)journal_->Sync();
   // The exactly-once invariant: every accepted request was finalized -- no
   // response lost (a promise with waiters would otherwise hang them) and,
   // by construction of Finalize, none resolved twice.
@@ -593,6 +752,239 @@ void WhyNotService::Shutdown(bool drain) {
   NED_CHECK_MSG(inflight_.empty(),
                 "shutdown left accepted requests without responses");
   NED_CHECK(scheduler_.empty());
+}
+
+WhyNotService::DrainReport WhyNotService::Drain(int64_t deadline_ms) {
+  DrainReport report;
+  std::vector<std::shared_ptr<Job>> queued;
+  Clock::TimePoint deadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    deadline = clock_->Now() + std::chrono::milliseconds(deadline_ms);
+    // After DrainAll every remaining in-flight job is on (or headed to) a
+    // worker: workers pop under mu_, so a job is either still queued here
+    // or already marked running.
+    for (Scheduler::Entry& entry : scheduler_.DrainAll()) {
+      queued.push_back(std::move(entry.item));
+    }
+    report.completed_inflight = inflight_.size() - queued.size();
+  }
+  for (const auto& job : queued) {
+    // Resolve the waiting client retryably, but leave the journal ACCEPT
+    // open: Recover() re-enqueues (or store-serves) these next start.
+    job->keep_recoverable = true;
+    WhyNotResponse response;
+    response.key = job->request.key;
+    response.status = Status::Unavailable(
+        "service draining; request journaled for recovery");
+    Finalize(job, std::move(response), /*final=*/false);
+    ++report.journaled_queued;
+  }
+  // Let running requests finish. Real time paces the polling; the deadline
+  // itself is read from the injected clock so ManualClock tests control
+  // exactly when the cancellation rung fires.
+  bool cancelled = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inflight_.empty()) break;
+      if (!cancelled && clock_->Now() >= deadline) {
+        for (auto& [key, job] : inflight_) {
+          if (job->running && !job->watchdog_fired) {
+            job->ctx->RequestCancel();
+            ++report.cancelled;
+          }
+        }
+        cancelled = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  if (journal_ != nullptr) (void)journal_->Sync();
+  std::lock_guard<std::mutex> lock(mu_);
+  NED_CHECK_MSG(inflight_.empty(),
+                "drain left accepted requests without responses");
+  NED_CHECK(scheduler_.empty());
+  return report;
+}
+
+WhyNotService::RecoveryReport WhyNotService::Recover() {
+  RecoveryReport report;
+  if (journal_ == nullptr) return report;
+  std::vector<JournalRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (recovery_done_) return report;  // idempotent: never double-enqueue
+    recovery_done_ = true;
+    records.swap(recovered_records_);
+  }
+
+  // Replay to a per-key last-state: ACCEPT -> pending, COMPLETE/SHED ->
+  // settled. A key can cycle (ACCEPT, SHED on transient failure, ACCEPT
+  // again...), so later records override earlier ones.
+  enum class Kind { kPending, kCompleted, kShed };
+  struct KeyState {
+    Kind kind = Kind::kPending;
+    std::string accept_payload;
+    WhyNotRequest request;
+    bool request_ok = false;
+    bool has_stored_answer = false;
+    std::string store_key;
+  };
+  std::vector<std::string> order;
+  std::unordered_map<std::string, KeyState> states;
+  for (const JournalRecord& record : records) {
+    ++report.replayed_records;
+    switch (record.type) {
+      case JournalRecordType::kAccept: {
+        WhyNotRequest request;
+        const bool decoded = DecodeRequest(record.payload, &request).ok();
+        std::string key = decoded ? request.key : std::string();
+        if (!decoded) {
+          // Undecodable ACCEPT (version skew, hostile bytes past the CRC's
+          // reach): recover the key alone if possible so the record can at
+          // least be settled, never fabricated into a request.
+          wire::Reader reader(record.payload);
+          uint8_t version = 0;
+          reader.GetU8(&version);
+          if (!reader.GetStr(&key)) key.clear();
+        }
+        if (key.empty()) {
+          ++report.dropped;
+          break;
+        }
+        auto [it, inserted] = states.emplace(key, KeyState{});
+        if (inserted) order.push_back(key);
+        it->second.kind = Kind::kPending;
+        it->second.accept_payload = record.payload;
+        it->second.request = std::move(request);
+        it->second.request_ok = decoded;
+        break;
+      }
+      case JournalRecordType::kComplete: {
+        wire::Reader reader(record.payload);
+        std::string key;
+        uint8_t code = 0, stored = 0;
+        std::string store_key;
+        if (!reader.GetStr(&key) || !reader.GetU8(&code) ||
+            !reader.GetU8(&stored) || !reader.GetStr(&store_key)) {
+          break;
+        }
+        auto [it, inserted] = states.emplace(key, KeyState{});
+        if (inserted) order.push_back(key);
+        it->second.kind = Kind::kCompleted;
+        it->second.has_stored_answer = stored != 0;
+        it->second.store_key = std::move(store_key);
+        break;
+      }
+      case JournalRecordType::kShed: {
+        wire::Reader reader(record.payload);
+        std::string key;
+        if (!reader.GetStr(&key)) break;
+        auto [it, inserted] = states.emplace(key, KeyState{});
+        if (inserted) order.push_back(key);
+        it->second.kind = Kind::kShed;
+        break;
+      }
+    }
+  }
+
+  for (const std::string& key : order) {
+    KeyState& state = states.at(key);
+    switch (state.kind) {
+      case Kind::kShed:
+        break;  // settled: the client saw the rejection
+      case Kind::kCompleted: {
+        // Restore the idempotency book only when the store can actually
+        // re-serve the answer; completions whose answers were never stored
+        // (partial, degraded, errors) simply recompute on resubmission.
+        // (A journal written with persist_answers on may be recovered with
+        // it off: those completions recompute too.)
+        if (!state.has_stored_answer || state.store_key.empty() ||
+            answer_store_ == nullptr) {
+          break;
+        }
+        auto stored = answer_store_->Lookup(state.store_key);
+        if (!stored.ok()) break;
+        WhyNotResponse response;
+        response.key = key;
+        response.status = Status::OK();
+        response.answer = std::move(*stored);
+        response.served_from_answer_store = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        RememberCompletedLocked(key, response);
+        ++report.restored_completed;
+        // Re-journal into the fresh segment so the restored book survives
+        // the compaction below (and the next crash).
+        std::string payload;
+        wire::PutStr(&payload, key);
+        wire::PutU8(&payload, static_cast<uint8_t>(StatusCode::kOk));
+        wire::PutU8(&payload, 1);
+        wire::PutStr(&payload, state.store_key);
+        (void)journal_->Append(JournalRecordType::kComplete, payload);
+        break;
+      }
+      case Kind::kPending: {
+        ++report.pending_found;
+        if (!state.request_ok) {
+          // Cannot re-execute what cannot be decoded; settle it so it does
+          // not accumulate across restarts.
+          std::lock_guard<std::mutex> lock(mu_);
+          JournalShedLocked(key);
+          ++report.dropped;
+          break;
+        }
+        // Re-enqueued work rides at background priority: recovered requests
+        // have no waiting client, so they must never displace live traffic.
+        state.request.priority = Priority::kBackground;
+        const Submission sub = Submit(state.request);
+        if (sub.status.ok()) {
+          // Submit either re-admitted it (fresh ACCEPT journaled) or served
+          // it from the store/completed book restored above.
+          if (sub.response.valid() &&
+              sub.response.wait_for(std::chrono::seconds(0)) ==
+                  std::future_status::ready &&
+              (sub.response.get().served_from_answer_store ||
+               sub.response.get().served_from_answer_cache || sub.deduped)) {
+            ++report.served_from_store;
+          } else {
+            ++report.resubmitted;
+          }
+        } else if (sub.status.code() == StatusCode::kUnavailable) {
+          // Shed (queue full under recovery load): keep it pending for the
+          // next recovery by re-journaling the original ACCEPT.
+          std::lock_guard<std::mutex> lock(mu_);
+          (void)journal_->Append(JournalRecordType::kAccept,
+                                 state.accept_payload);
+          ++report.deferred;
+        } else {
+          // Permanent rejection (database since dropped, ...): settle it.
+          std::lock_guard<std::mutex> lock(mu_);
+          JournalShedLocked(key);
+          ++report.dropped;
+        }
+        break;
+      }
+    }
+  }
+
+  // Compaction: everything still live was re-journaled into the fresh
+  // segment (restored COMPLETEs, deferred ACCEPTs, resubmitted requests'
+  // fresh ACCEPTs), so the pre-crash segments are now redundant history.
+  (void)journal_->Sync();
+  (void)journal_->DropOldSegments();
+  return report;
 }
 
 WhyNotService::Stats WhyNotService::stats() const {
@@ -625,6 +1017,15 @@ LruStats WhyNotService::subtree_cache_stats() const {
 
 LruStats WhyNotService::answer_cache_stats() const {
   return answer_cache_ != nullptr ? answer_cache_->stats() : LruStats{};
+}
+
+JournalStats WhyNotService::journal_stats() const {
+  return journal_ != nullptr ? journal_->stats() : JournalStats{};
+}
+
+AnswerStoreStats WhyNotService::answer_store_stats() const {
+  return answer_store_ != nullptr ? answer_store_->stats()
+                                  : AnswerStoreStats{};
 }
 
 int WhyNotService::parallel_pool_size() const {

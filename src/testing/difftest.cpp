@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "baseline/whynot_baseline.h"
+#include "common/atomic_file.h"
 #include "common/csv.h"
 #include "common/strings.h"
 #include "core/nedexplain.h"
@@ -699,8 +700,10 @@ Status WriteRepro(const GenWorkload& w, const DiffOutcome& outcome,
       for (const Value& v : r.row(i).values()) cells.push_back(CsvCell(v));
       rows.push_back(std::move(cells));
     }
+    // Atomic writes: a crash (or ^C) mid-repro must never leave a torn CSV
+    // that a later "repro from disk" run silently loads.
     NED_RETURN_NOT_OK(
-        WriteFile(StrCat(stem, "_", r.name(), ".csv"), WriteCsv(rows)));
+        AtomicWriteFile(StrCat(stem, "_", r.name(), ".csv"), WriteCsv(rows)));
   }
   std::string sql_file = StrCat("-- seed ", w.seed, " (", w.scenario, ")\n",
                                 "-- why-not: ", w.question.ToString(), "\n");
@@ -711,8 +714,8 @@ Status WriteRepro(const GenWorkload& w, const DiffOutcome& outcome,
   }
   std::string sql = SpecToSql(w.spec);
   sql_file += (sql.empty() ? "-- <spec not printable as SQL>" : sql) + "\n";
-  NED_RETURN_NOT_OK(WriteFile(stem + ".sql", sql_file));
-  return WriteFile(stem + "_test.cc", ReproGTestCase(w));
+  NED_RETURN_NOT_OK(AtomicWriteFile(stem + ".sql", sql_file));
+  return AtomicWriteFile(stem + "_test.cc", ReproGTestCase(w));
 }
 
 }  // namespace ned

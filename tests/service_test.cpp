@@ -14,12 +14,17 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "relational/catalog.h"
@@ -880,6 +885,118 @@ TEST(Service, KeepsServingIdenticallyAcrossAFailedReload) {
   EXPECT_EQ(r2.snapshot_version, 1u);
   EXPECT_EQ(r2.answer.ToString(), r1.answer.ToString());
   service.Shutdown();
+}
+
+// ---- drain-vs-shutdown contract (the durable half lives in persist_test) ---
+
+/// Recursive rm -rf via dirent (the repo avoids <filesystem>).
+void RemoveTreeForTest(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir != nullptr) {
+    while (dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = path + "/" + name;
+      struct stat st;
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        RemoveTreeForTest(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(dir);
+  }
+  ::rmdir(path.c_str());
+}
+
+TEST(Durability, DrainContractAndIdempotentRecover) {
+  const std::string dir = ::testing::TempDir() + "service_test_drain";
+  RemoveTreeForTest(dir);
+  ASSERT_TRUE(EnsureDir(dir).ok());
+
+  // Phase 1: a pinned worker (blocker on manual time) plus one queued
+  // request, then Drain. The contract: the running request is allowed to
+  // finish (cancelled at the deadline into an honest partial, COMPLETE-
+  // journaled), the queued one resolves retryably with its journal ACCEPT
+  // left open for the next start.
+  {
+    ManualClock clock;
+    ServiceOptions options;
+    options.workers = 1;
+    options.clock = &clock;
+    options.persist_dir = dir;
+    WhyNotService service(MakeCatalog(), options);
+    auto blk = service.Submit(SlowRequest("blk", 500));
+    ASSERT_TRUE(blk.status.ok());
+    WaitForEmptyQueue(service);
+    auto q = service.Submit(TinyRequest("q1"));
+    ASSERT_TRUE(q.status.ok());
+    EXPECT_EQ(service.stats().journaled_accepts, 2u);
+
+    // Drain polls on real time but reads its deadline from the injected
+    // clock: advance manual time from the side until the cancel rung fires.
+    std::atomic<bool> drained{false};
+    std::thread advancer([&] {
+      while (!drained.load()) {
+        clock.AdvanceMs(5);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    const WhyNotService::DrainReport report = service.Drain(/*deadline_ms=*/40);
+    drained.store(true);
+    advancer.join();
+
+    EXPECT_EQ(report.completed_inflight, 1u);  // the blocker was running
+    EXPECT_EQ(report.journaled_queued, 1u);    // q1 never reached a worker
+    EXPECT_EQ(report.cancelled, 1u);  // the deadline rung stopped the blocker
+
+    WhyNotResponse qr = q.response.get();
+    EXPECT_EQ(qr.status.code(), StatusCode::kUnavailable);
+    WhyNotResponse br = blk.response.get();
+    ASSERT_TRUE(br.status.ok()) << br.status.ToString();
+    EXPECT_FALSE(br.answer.complete);  // honest partial, not a fabrication
+
+    // The books: both ACCEPTs journaled, only the blocker COMPLETEd. q1's
+    // open ACCEPT is exactly what Recover() looks for.
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.journaled_accepts, 2u);
+    EXPECT_EQ(stats.journaled_completes, 1u);
+    EXPECT_EQ(stats.journaled_sheds, 0u);
+  }
+
+  // Phase 2: a fresh service over the same directory recovers exactly the
+  // stranded request -- once. The second Recover is a no-op by contract
+  // (never double-enqueue), not merely empty by coincidence.
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    options.persist_dir = dir;
+    WhyNotService service(MakeCatalog(), options);
+    const WhyNotService::RecoveryReport rec = service.Recover();
+    EXPECT_EQ(rec.replayed_records, 3u);  // ACCEPT blk, ACCEPT q1, COMPLETE blk
+    EXPECT_EQ(rec.pending_found, 1u);
+    EXPECT_EQ(rec.resubmitted, 1u);
+    EXPECT_EQ(rec.served_from_store, 0u);  // a partial is never stored
+    EXPECT_EQ(rec.restored_completed, 0u);
+    EXPECT_EQ(rec.dropped, 0u);
+
+    const WhyNotService::RecoveryReport again = service.Recover();
+    EXPECT_EQ(again.replayed_records, 0u);
+    EXPECT_EQ(again.pending_found, 0u);
+    EXPECT_EQ(again.resubmitted, 0u);
+
+    // The client retries its drained key: it attaches to the re-enqueued
+    // job (or its completion) instead of spawning a second execution.
+    auto retry = service.Submit(TinyRequest("q1"));
+    ASSERT_TRUE(retry.status.ok());
+    WhyNotResponse resp = retry.response.get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_TRUE(resp.answer.complete);
+    service.Shutdown(/*drain=*/true);
+    // Exactly-once across the restart: one execution for q1, total.
+    EXPECT_EQ(service.stats().accepted, 1u);
+  }
+  RemoveTreeForTest(dir);
 }
 
 }  // namespace

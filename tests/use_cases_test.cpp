@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baseline/whynot_baseline.h"
+#include "common/atomic_file.h"
 #include "common/csv.h"
 #include "core/nedexplain.h"
 #include "core/report.h"
@@ -155,7 +156,9 @@ TEST(Golden, AllUseCasesMatchCheckedInSnapshots) {
     std::string snapshot = Snapshot(uc, run);
     std::string path = GoldenPath(uc.name);
     if (g_update_golden) {
-      ASSERT_TRUE(WriteFile(path, snapshot).ok()) << path;
+      // Atomic replace: an interrupted --update-golden run must leave each
+      // golden either untouched or fully rewritten, never torn.
+      ASSERT_TRUE(AtomicWriteFile(path, snapshot).ok()) << path;
       continue;
     }
     auto golden = ReadFile(path);

@@ -40,6 +40,16 @@
 ///
 /// Exit code 0 on success, 1 on any violated invariant. `--smoke` is the
 /// CI-sized run.
+///
+/// Durability hooks (see docs/DURABILITY.md): `--persist DIR` runs the
+/// service with the write-ahead journal + durable answer store rooted at
+/// DIR and recovers from it on startup; SIGTERM/SIGINT trigger a graceful
+/// Drain (finish in-flight, journal the rest as recoverable) instead of the
+/// normal shutdown; `--crash-after-ms N` SIGKILLs the process mid-chaos so
+/// ned_crashtest can prove kill-and-recover exactly-once on a real process.
+
+#include <csignal>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -86,6 +96,20 @@ using ned::WhyNotService;
 constexpr int kHotClients = 3;
 constexpr size_t kPerClientLimit = 1;
 
+/// Set by the SIGTERM/SIGINT handler. Loops poll it alongside the horizon so
+/// an operator signal stops new submissions promptly; the main thread then
+/// runs a graceful Drain (finish in-flight, journal the rest as recoverable)
+/// instead of the full-drain Shutdown.
+std::atomic<bool> g_drain_requested{false};
+
+extern "C" void HandleDrainSignal(int /*signo*/) {
+  g_drain_requested.store(true, std::memory_order_relaxed);
+}
+
+bool StopRequested() {
+  return g_drain_requested.load(std::memory_order_relaxed);
+}
+
 struct Args {
   int clients = 8;
   int seconds = 10;
@@ -102,6 +126,13 @@ struct Args {
   uint64_t seed = 1;
   int scale = 1;
   bool smoke = false;
+  /// When non-empty, the service runs with the write-ahead journal and
+  /// durable answer store rooted here (and recovers from it on startup).
+  std::string persist_dir;
+  /// When > 0, a detached thread SIGKILLs this process after N ms -- the
+  /// kill-and-recover harness (ned_crashtest) uses this to crash a real
+  /// serving process at an uncontrolled point and then prove recovery.
+  int64_t crash_after_ms = 0;
 };
 
 /// One drivable scenario: a database name in the catalog + SQL + question.
@@ -168,6 +199,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--inject") {
       if (i + 1 >= argc) return false;
       args->inject = argv[++i];
+    } else if (arg == "--persist") {
+      if (i + 1 >= argc) return false;
+      args->persist_dir = argv[++i];
+    } else if (arg == "--crash-after-ms" && next(&v)) {
+      args->crash_after_ms = v;
     } else if (arg == "--smoke") {
       args->smoke = true;
       args->clients = 4;
@@ -179,7 +215,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                 << "usage: ned_stress [--clients N] [--seconds S] "
                    "[--workers W] [--queue Q] [--threads-per-request T] "
                    "[--inject all|none|engine|service] [--seed S] "
-                   "[--scale K] [--smoke]\n";
+                   "[--scale K] [--persist DIR] [--crash-after-ms N] "
+                   "[--smoke]\n";
       return false;
     }
   }
@@ -218,7 +255,7 @@ void ClientLoop(int client_id, const Args& args, WhyNotService* service,
   policy.max_backoff_ms = 50;
   policy.priority_aware_backoff = true;
   uint64_t n = 0;
-  while (std::chrono::steady_clock::now() < horizon) {
+  while (!StopRequested() && std::chrono::steady_clock::now() < horizon) {
     const StressCase& c =
         (*cases)[static_cast<size_t>(rng.Next() % cases->size())];
     WhyNotRequest req;
@@ -326,7 +363,7 @@ void HogLoop(const Args& args, WhyNotService* service,
              std::mutex* finals_mu) {
   Rng rng(ned::MixSeed(args.seed, 0x407C0DEULL));
   uint64_t n = 0;
-  while (std::chrono::steady_clock::now() < horizon) {
+  while (!StopRequested() && std::chrono::steady_clock::now() < horizon) {
     const StressCase& c =
         (*cases)[static_cast<size_t>(rng.Next() % cases->size())];
     WhyNotService::Submission subs[2];
@@ -415,7 +452,7 @@ void PoisonLoop(const Args& args, WhyNotService* service,
   policy.initial_backoff_ms = 1;
   policy.max_backoff_ms = 50;
   uint64_t n = 0;
-  while (std::chrono::steady_clock::now() < horizon) {
+  while (!StopRequested() && std::chrono::steady_clock::now() < horizon) {
     const uint64_t kind = n % kPoisonKinds;
     WhyNotRequest req;
     req.key = ned::StrCat("poison-", n++);
@@ -450,7 +487,7 @@ void ReloaderLoop(Catalog* catalog, const std::vector<uint64_t>* wl_seeds,
                   std::chrono::steady_clock::time_point horizon,
                   std::atomic<uint64_t>* reloads) {
   Rng rng(ned::MixSeed(seed, 0xC0FFEEULL));
-  while (std::chrono::steady_clock::now() < horizon) {
+  while (!StopRequested() && std::chrono::steady_clock::now() < horizon) {
     const uint64_t wl_seed = rng.Pick(*wl_seeds);
     const std::string db_name = ned::StrCat("wl", wl_seed);
     // Rebuild the same workload instance and swap it in: contents are
@@ -528,7 +565,34 @@ int Run(const Args& args) {
   // threshold so the generated workloads (often < 64 rows) partition too.
   options.threads_per_request = args.threads_per_request;
   options.parallel_min_rows = 8;
+  if (!args.persist_dir.empty()) options.persist_dir = args.persist_dir;
   WhyNotService service(catalog, options);
+  if (service.persistence_enabled()) {
+    // Replay whatever a previous (possibly crashed) run left behind before
+    // admitting new chaos: restored answers dedupe, pending work re-enqueues.
+    const ned::WhyNotService::RecoveryReport rec = service.Recover();
+    std::cout << "recovery          : replayed=" << rec.replayed_records
+              << " restored=" << rec.restored_completed
+              << " pending=" << rec.pending_found
+              << " from_store=" << rec.served_from_store
+              << " resubmitted=" << rec.resubmitted
+              << " deferred=" << rec.deferred
+              << " dropped=" << rec.dropped << "\n";
+  }
+
+  // Operator signals request a graceful drain instead of a hard stop; the
+  // loops poll g_drain_requested and the main thread picks the shutdown
+  // flavor below.
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+  if (args.crash_after_ms > 0) {
+    // A real, uncatchable crash at an arbitrary point mid-chaos. Detached:
+    // if the run outlives the timer something went wrong anyway.
+    std::thread([ms = args.crash_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      ::kill(::getpid(), SIGKILL);
+    }).detach();
+  }
 
   const auto horizon = std::chrono::steady_clock::now() +
                        std::chrono::seconds(args.seconds);
@@ -554,7 +618,19 @@ int Run(const Args& args) {
   reloader.join();
   poisoner.join();
   hogger.join();
-  service.Shutdown(/*drain=*/true);
+  if (StopRequested()) {
+    // Signal-requested stop: graceful drain. By this point the blocking
+    // clients have all joined (their loops observed the flag), so the drain
+    // mostly finishes stragglers; anything still queued is journaled as
+    // recoverable for the next run to pick up.
+    const ned::WhyNotService::DrainReport drain = service.Drain(2000);
+    std::cout << "drain             : completed_inflight="
+              << drain.completed_inflight
+              << " journaled_queued=" << drain.journaled_queued
+              << " cancelled=" << drain.cancelled << "\n";
+  } else {
+    service.Shutdown(/*drain=*/true);
+  }
 
   // ---- merge + check invariants --------------------------------------------
   ClientTally total;
@@ -635,6 +711,30 @@ int Run(const Args& args) {
             << " entries=" << service.subtree_cache_stats().entries
             << " bytes=" << service.subtree_cache_stats().bytes << "\n"
             << "latency ms        : p50=" << p50 << " p99=" << p99 << "\n";
+  if (service.persistence_enabled()) {
+    const ned::JournalStats js = service.journal_stats();
+    const ned::AnswerStoreStats ss = service.answer_store_stats();
+    std::cout << "journal           : appends=" << js.appends
+              << " syncs=" << js.syncs << " rotations=" << js.rotations
+              << " bytes=" << js.bytes_written
+              << " accepts=" << stats.journaled_accepts
+              << " completes=" << stats.journaled_completes
+              << " sheds=" << stats.journaled_sheds << "\n"
+              << "answer store      : hits=" << stats.answer_store_hits
+              << " misses=" << stats.answer_store_misses
+              << " puts=" << stats.answer_store_puts
+              << " entries_on_open=" << ss.entries_on_open
+              << " corrupt_dropped=" << ss.corrupt_dropped << "\n";
+  }
+  if (StopRequested()) {
+    // Interrupted run: the invariant battery assumes the chaos ran to its
+    // horizon (e.g. "queue sheds must have happened"), which a signal at an
+    // arbitrary point can't guarantee. The drain itself already asserted
+    // what matters for an interrupt: in-flight finished, queued journaled.
+    std::cout << "ned_stress: DRAINED (signal-interrupted; invariant battery "
+                 "skipped)\n";
+    return 0;
+  }
 
   int failures = 0;
   auto fail = [&failures](const std::string& what) {
