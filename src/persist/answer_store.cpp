@@ -99,7 +99,7 @@ Result<std::unique_ptr<AnswerStore>> AnswerStore::Open(
     const std::string name = entry->d_name;
     if (name == "." || name == "..") continue;
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".ans") == 0) {
-      store->entry_files_.insert(name);
+      store->entry_files_.emplace(name, 0);
       ++store->stats_.entries_on_open;
     } else {
       // Leftover temp/marker from an interrupted write: never published,
@@ -142,12 +142,15 @@ Result<std::unique_ptr<AnswerStore>> AnswerStore::Open(
 
 Result<AnswerSummary> AnswerStore::Lookup(const std::string& key) {
   const std::string file_name = EntryFileName(key);
+  uint64_t read_gen = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (entry_files_.count(file_name) == 0) {
+    auto it = entry_files_.find(file_name);
+    if (it == entry_files_.end()) {
       ++stats_.misses;
       return Status::NotFound("no stored answer");
     }
+    read_gen = it->second;
   }
   const std::string path = options_.dir + "/entries/" + file_name;
   auto content = ReadFile(path);
@@ -183,11 +186,18 @@ Result<AnswerSummary> AnswerStore::Lookup(const std::string& key) {
     corrupt = true;
   }
   if (corrupt) {
-    // Failed CRC or decode: the entry cannot be trusted, so it must not be
-    // served. Delete it; the answer is recomputable by construction.
-    (void)::unlink(path.c_str());
-    entry_files_.erase(file_name);
-    ++stats_.corrupt_dropped;
+    // Failed CRC or decode: what was read cannot be served. Delete the
+    // entry (the answer is recomputable by construction) -- unless its put
+    // generation moved while the file was being read with mu_ released:
+    // then the unreadable bytes were a snapshot of a name a concurrent Put
+    // has since atomically replaced with a valid entry, and dropping it
+    // would destroy that freshly-written durable answer.
+    auto it = entry_files_.find(file_name);
+    if (it != entry_files_.end() && it->second == read_gen) {
+      (void)::unlink(path.c_str());
+      entry_files_.erase(it);
+      ++stats_.corrupt_dropped;
+    }
   }
   ++stats_.misses;
   return Status::NotFound("stored answer unreadable");
@@ -215,7 +225,7 @@ Status AnswerStore::Put(const std::string& key, const AnswerSummary& summary,
   NED_RETURN_NOT_OK(WriteFileWithCrash(
       EntryPath(key), content, options_.fsync, crash,
       CrashPoint::kStoreTornTemp, CrashPoint::kStoreBeforeRename));
-  entry_files_.insert(EntryFileName(key));
+  ++entry_files_[EntryFileName(key)];  // index + bump the put generation
   ++stats_.puts;
   manifest_[manifest.db_name] = manifest;
   if (crash != nullptr &&

@@ -31,7 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -112,7 +112,12 @@ class AnswerStore {
   const AnswerStoreOptions options_;
 
   mutable std::mutex mu_;
-  std::unordered_set<std::string> entry_files_;  ///< file names, no dir
+  /// Indexed entry file names (no dir) -> put generation. The generation
+  /// bumps on every Put of that name; Lookup reads the entry file with mu_
+  /// released and refuses to corrupt-drop a name whose generation moved
+  /// during the read -- the stale bytes it saw belong to a file a
+  /// concurrent Put has since replaced with a fresh valid entry.
+  std::unordered_map<std::string, uint64_t> entry_files_;
   std::map<std::string, StoreManifestEntry> manifest_;  ///< by db_name
   AnswerStoreStats stats_;
 };

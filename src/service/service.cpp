@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string_view>
 #include <utility>
 
 #include "common/strings.h"
@@ -41,6 +42,38 @@ BrownoutOptions ResolveBrownout(const ServiceOptions& options) {
     resolved.p99_target_ms = options.default_deadline_ms;
   }
   return resolved;
+}
+
+/// Best-effort request-key extraction from a replayed journal record.
+/// Every record type leads with the key (ACCEPT behind the codec-version
+/// byte); empty when the payload is too mangled to yield one.
+std::string RecoveredRecordKey(const JournalRecord& record) {
+  wire::Reader reader(record.payload);
+  if (record.type == JournalRecordType::kAccept) {
+    uint8_t version = 0;
+    reader.GetU8(&version);
+  }
+  std::string key;
+  if (!reader.GetStr(&key)) key.clear();
+  return key;
+}
+
+/// Parses the N of an "auto-N" service-assigned key; 0 when `key` has any
+/// other shape (client-chosen keys are never shaped like this unless the
+/// client opted into the collision).
+uint64_t AutoKeyNumber(const std::string& key) {
+  constexpr std::string_view kPrefix = "auto-";
+  if (key.size() <= kPrefix.size() ||
+      key.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return 0;
+  }
+  uint64_t n = 0;
+  for (size_t i = kPrefix.size(); i < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return 0;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return n;
 }
 
 }  // namespace
@@ -123,6 +156,17 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
     NED_CHECK_MSG(journal.ok(),
                   "cannot open request journal: " + journal.status().message());
     journal_ = std::move(*journal);
+    // Auto-assigned keys must stay unique across the restart boundary: the
+    // replayed records carry "auto-N" keys minted by previous incarnations
+    // (Recover() restores their completed-book entries and resubmits their
+    // pending requests under those same keys), so a counter restarting at 0
+    // would hand a new empty-key submission an already-taken key and dedupe
+    // it onto another request's answer. Seed past everything the journal
+    // remembers.
+    for (const JournalRecord& record : recovered_records_) {
+      next_auto_key_ =
+          std::max(next_auto_key_, AutoKeyNumber(RecoveredRecordKey(record)));
+    }
     if (options_.persist_answers) {
       AnswerStoreOptions sopts;
       sopts.dir = options_.persist_dir + "/store";
@@ -302,7 +346,34 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
         request.db_name, snapshot->content_fingerprint, request.sql,
         request.question.ToString(), rows, mem,
         EngineOptionBits(request.engine_options));
+    // The lookup reads an entry file, so it runs off mu_ -- store IO must
+    // never block admission, worker finalization or the watchdog. The books
+    // can move while the lock is down, so the admission-order checks that
+    // preceded it (shutdown, idempotency) re-run after relocking.
+    lock.unlock();
     auto stored = answer_store_->Lookup(store_key);
+    lock.lock();
+    if (!accepting_) {
+      ++stats_.rejected_shutdown;
+      sub.status = Status::Unavailable("service shutting down");
+      return sub;
+    }
+    if (auto it = completed_.find(request.key); it != completed_.end()) {
+      ++stats_.served_from_cache;
+      std::promise<WhyNotResponse> ready;
+      ready.set_value(it->second);
+      sub.status = Status::OK();
+      sub.deduped = true;
+      sub.response = ready.get_future().share();
+      return sub;
+    }
+    if (auto it = inflight_.find(request.key); it != inflight_.end()) {
+      ++stats_.deduped_inflight;
+      sub.status = Status::OK();
+      sub.deduped = true;
+      sub.response = it->second->future;
+      return sub;
+    }
     if (stored.ok()) {
       ++stats_.answer_store_hits;
       WhyNotResponse response;
@@ -648,6 +719,15 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
     // got a retryable answer and will resubmit under a fresh ACCEPT).
     // Queued requests failed by Drain/Shutdown set keep_recoverable: no
     // record at all, leaving the ACCEPT open for Recover().
+    //
+    // If the append itself fails (journal broken mid-flight), the promise
+    // still resolves: withholding a computed answer would be a lost ack,
+    // which the contract ranks worse than the duplicate this creates --
+    // the unresolved ACCEPT makes the next Recover() re-run (or re-serve)
+    // a request its client already saw settle. Exactly-once degrades to
+    // at-least-once for exactly the requests in flight when the journal
+    // died, surfaced via stats_.journal_append_failures (documented in
+    // docs/DURABILITY.md).
     if (journal_ != nullptr) {
       if (final) {
         std::string payload;

@@ -436,8 +436,9 @@ class WhyNotService {
   const std::unique_ptr<TaskPool> task_pool_;
   /// Durability layer; both null when options.persist_dir is empty. The
   /// journal and store are internally locked (appends from Submit/Finalize
-  /// hold mu_ first; store puts run off-lock in Execute -- the lock order
-  /// service mu_ -> persist mutex is acyclic).
+  /// hold mu_ first; store entry-file IO -- Submit lookups and Execute puts
+  /// -- runs with mu_ released so store latency never blocks admission.
+  /// The lock order service mu_ -> persist mutex is acyclic).
   std::unique_ptr<Journal> journal_;
   std::unique_ptr<AnswerStore> answer_store_;
   /// Records replayed by Journal::Open at construction, consumed by the

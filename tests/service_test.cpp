@@ -999,5 +999,59 @@ TEST(Durability, DrainContractAndIdempotentRecover) {
   RemoveTreeForTest(dir);
 }
 
+TEST(Durability, AutoKeysStayUniqueAcrossRestart) {
+  const std::string dir = ::testing::TempDir() + "service_test_autokey";
+  RemoveTreeForTest(dir);
+  ASSERT_TRUE(EnsureDir(dir).ok());
+
+  // Phase 1: an empty-key request gets the first auto key of this
+  // incarnation and completes (full answer, so the store spills it and the
+  // COMPLETE record makes it restorable).
+  std::string first_key;
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    options.persist_dir = dir;
+    WhyNotService service(MakeCatalog(), options);
+    auto sub = service.Submit(TinyRequest(""));
+    ASSERT_TRUE(sub.status.ok()) << sub.status.ToString();
+    WhyNotResponse r = sub.response.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    first_key = r.key;
+    EXPECT_EQ(first_key, "auto-1");
+    service.Shutdown();
+  }
+
+  // Phase 2: after recovery restores "auto-1" into the completed book, a
+  // fresh empty-key submission must mint a key the previous incarnation
+  // never used. A counter restarting at 0 would hand out "auto-1" again
+  // and dedupe this *different* request onto the recovered answer.
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    options.persist_dir = dir;
+    WhyNotService service(MakeCatalog(), options);
+    const WhyNotService::RecoveryReport rec = service.Recover();
+    EXPECT_EQ(rec.restored_completed, 1u);
+
+    WhyNotRequest other = TinyRequest("");
+    CTuple tc;
+    tc.Add("R.v", Value::Str("nonexistent"));  // not the phase-1 question
+    other.question = WhyNotQuestion(tc);
+    auto sub = service.Submit(std::move(other));
+    ASSERT_TRUE(sub.status.ok()) << sub.status.ToString();
+    EXPECT_FALSE(sub.deduped);
+    WhyNotResponse r = sub.response.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_NE(r.key, first_key);
+    EXPECT_FALSE(r.served_from_answer_store);
+    service.Shutdown();
+    // The new request really executed -- it did not ride the old key's
+    // cached response.
+    EXPECT_EQ(service.stats().accepted, 1u);
+  }
+  RemoveTreeForTest(dir);
+}
+
 }  // namespace
 }  // namespace ned
