@@ -6,12 +6,21 @@
 /// Expected shape (paper Sec. 4.3): SPJ use cases are dominated by
 /// Initialization, with SuccessorsFinder second; SPJA use cases shift weight
 /// to SuccessorsFinder (the extra aggregation checks of Alg. 3).
+///
+/// Cross-check: after the timer-derived table, each use case runs once more
+/// with an obs::Trace attached and the four phase totals are re-derived from
+/// the span tree (Trace::PhaseNanos). PhasedSpanScope charges the timer and
+/// the span from one pair of clock readings, so the two derivations must be
+/// *equal*, not merely close -- any divergence exits non-zero. This is the
+/// executable form of the docs/OBSERVABILITY.md "Fig. 5 from spans" recipe.
 
 #include <iostream>
 
 #include "common/strings.h"
 #include "core/nedexplain.h"
 #include "datasets/use_cases.h"
+#include "exec/exec_context.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace ned;
@@ -74,5 +83,51 @@ int main() {
   std::cout << RenderTable({"Use case", "Init", "CompatFinder", "SuccFinder",
                             "Bottom-Up", "total ms", "bar (#=Init +=Compat ==Succ -=BottomUp)"},
                            rows);
+
+  // ---- trace-derived cross-check -------------------------------------------
+  // One traced run per use case: the PhaseTimer totals in result->phases and
+  // the span-derived totals from Trace::PhaseNanos come from the same clock
+  // readings (PhasedSpanScope), so they must agree exactly.
+  int mismatches = 0;
+  int checked = 0;
+  for (const UseCase& uc : registry.use_cases()) {
+    auto tree_result = registry.BuildTree(uc);
+    if (!tree_result.ok()) continue;
+    QueryTree tree = std::move(tree_result).value();
+    const Database& db = registry.database(uc.db_name);
+    auto engine = NedExplainEngine::Create(&tree, &db);
+    if (!engine.ok()) continue;
+
+    obs::Trace trace;
+    ExecContext ctx;
+    ctx.set_trace(&trace);
+    auto result = engine->Explain(uc.question, &ctx);
+    if (!result.ok()) {
+      std::cerr << uc.name << " (traced): " << result.status().ToString()
+                << "\n";
+      ++mismatches;
+      continue;
+    }
+    ++checked;
+    for (const char* phase : kPhases) {
+      const int64_t timer_ns = result->phases.Nanos(phase);
+      const int64_t span_ns = trace.PhaseNanos(phase);
+      if (timer_ns != span_ns) {
+        std::cerr << "FAIL " << uc.name << ": phase " << phase
+                  << " timer-derived " << timer_ns << " ns != span-derived "
+                  << span_ns << " ns\n";
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::cerr << "bench_fig5: trace-derived phase totals diverged from the "
+                 "bespoke timers ("
+              << mismatches << " mismatches)\n";
+    return 1;
+  }
+  std::cout << "trace cross-check: span-derived phase totals equal "
+               "timer-derived totals on all "
+            << checked << " use cases\n";
   return 0;
 }

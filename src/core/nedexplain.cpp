@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "expr/satisfiability.h"
+#include "obs/trace.h"
 
 #ifdef NED_FORCE_SUBTREE_CACHE
 #include "cache/subtree_cache.h"
@@ -210,6 +211,11 @@ Result<NedExplainResult> NedExplainEngine::Explain(
 #endif
   NedExplainResult result;
 
+  // Per-request span sink (null = two-branch fast path everywhere). Spans
+  // are emitted only on this coordinator thread; worker shards never see
+  // the trace, so the span tree is identical at any thread count.
+  obs::Trace* trace = ctx != nullptr ? ctx->trace() : nullptr;
+
   // Marks the run partial because `limit` tripped. Used wherever a governed
   // limit surfaces so the caller still receives the answers computed so far.
   auto mark_partial = [&result](const Status& limit) {
@@ -222,7 +228,7 @@ Result<NedExplainResult> NedExplainEngine::Explain(
   std::shared_ptr<QueryInput> input;
   std::unique_ptr<Evaluator> evaluator;
   {
-    PhaseTimer::Scope scope(&result.phases, phase::kInitialization);
+    obs::PhasedSpanScope scope(&result.phases, phase::kInitialization, trace);
     auto built = QueryInput::Build(*tree_, *db_, ctx);
     if (!built.ok()) {
       if (!IsResourceLimit(built.status())) return built.status();
@@ -241,7 +247,9 @@ Result<NedExplainResult> NedExplainEngine::Explain(
   result.completeness.ctuples_total = result.unrenamed.ctuples().size();
 
   // -- One Alg. 1 run per unrenamed c-tuple; the final answer is the union.
+  size_t ctuple_idx = 0;
   for (const CTuple& tc : result.unrenamed.ctuples()) {
+    obs::SpanScope ctuple_span(trace, StrCat("ctuple_", ctuple_idx++));
     auto part_result =
         ExplainCTuple(tc, input.get(), evaluator.get(), &result.phases, ctx);
     if (!part_result.ok()) {
@@ -275,6 +283,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     PhaseTimer* phases, ExecContext* ctx) {
   CTupleExplainResult result;
   result.ctuple = tc;
+  obs::Trace* trace = ctx != nullptr ? ctx->trace() : nullptr;
 
   // Marks this c-tuple's run partial: the traversal stopped at `node` (may
   // be null) because `limit` tripped. The answer derivation below still runs
@@ -287,7 +296,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
 
   // -- CompatibleFinder (step 2a): Dir_tc and InDir_tc.
   {
-    PhaseTimer::Scope scope(phases, phase::kCompatibleFinder);
+    obs::PhasedSpanScope scope(phases, phase::kCompatibleFinder, trace);
     auto compat_result = FindCompatibles(tc, *input, agg_output_names_, ctx);
     if (!compat_result.ok()) {
       if (!IsResourceLimit(compat_result.status())) {
@@ -307,7 +316,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
   std::vector<PickyRecord> picky;
   std::unordered_map<Rid, const TraceTuple*> rid_index;
   {
-    PhaseTimer::Scope scope(phases, phase::kInitialization);
+    obs::PhasedSpanScope scope(phases, phase::kInitialization, trace);
     for (const OperatorNode* scan : tree_->scans()) {
       TabQEntry& entry = tabq.entry_for(scan);
       NED_ASSIGN_OR_RETURN(const std::vector<TraceTuple>* tuples,
@@ -341,6 +350,16 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
 
   // ---- Alg. 1 main loop ----------------------------------------------------
   bool terminated = false;
+  // One structural span per TabQ level, opened at the level's first entry
+  // and closed when the walk leaves it (or at any exit from the loop). The
+  // open/close points depend only on the TabQ ordering, never on thread
+  // count, so the level spans are part of the deterministic structure.
+  int32_t level_span = -1;
+  auto open_level_span = [&](int level) {
+    if (trace == nullptr) return;
+    if (level_span >= 0) trace->CloseSpan(level_span);
+    level_span = trace->OpenSpan(StrCat("tabq_level_", level));
+  };
   // A limit that tripped during a level pre-warm (parallel sibling fan-out).
   // It surfaces when the walk reaches the first node left unevaluated, which
   // is exactly where the serial walk would have stopped.
@@ -360,7 +379,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     // -- Alg. 2: checkEarlyTermination(m).
     if (options_.enable_early_termination && i != 0 &&
         entry.level() != tabq.at(i - 1).level()) {
-      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
       bool stop = true;
       int prev_level = tabq.at(i - 1).level();
       for (size_t j = i; j-- > 0 && tabq.at(j).level() == prev_level;) {
@@ -385,6 +404,10 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
       }
     }
 
+    if (i == 0 || entry.level() != tabq.at(i - 1).level()) {
+      open_level_span(entry.level());
+    }
+
     // -- Level pre-warm: when parallelism is active, evaluate this level's
     //    sibling subtrees concurrently before the per-node walk consumes
     //    them. Runs after the early-termination check, so it computes
@@ -398,7 +421,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
         level_nodes.push_back(tabq.at(j).node);
       }
       if (level_nodes.size() > 1) {
-        PhaseTimer::Scope scope(phases, phase::kBottomUp);
+        obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
         Status warm = evaluator->EvalNodes(level_nodes);
         if (!warm.ok()) {
           if (!IsResourceLimit(warm)) return warm;
@@ -410,7 +433,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     // -- Evaluate m on its input (Alg. 1 line 8) and maintain the parent's
     //    entries and the EmptyOutput/Picky managers (lines 9-14).
     {
-      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
       if (!prewarm_limit.ok() && evaluator->TryGetOutput(m) == nullptr) {
         // The pre-warm tripped before (or while) computing m: stop here,
         // keeping the maintenance state of everything evaluated below.
@@ -447,7 +470,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
 
     if (m->is_leaf()) {
       // Alg. 1 lines 17-20: a base relation passes its compatibles through.
-      PhaseTimer::Scope scope(phases, phase::kBottomUp);
+      obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
       if (!entry.compatibles.empty()) {
         TabQEntry& parent = tabq.entry_for(m->parent);
         parent.compatibles.insert(entry.compatibles.begin(),
@@ -459,7 +482,7 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
 
     // -- Alg. 3: FindSuccessors(m).
     {
-      PhaseTimer::Scope scope(phases, phase::kSuccessorsFinder);
+      obs::PhasedSpanScope scope(phases, phase::kSuccessorsFinder, trace);
       std::unordered_set<Rid> successors;  // valid successors in m.Output
       std::unordered_set<Rid> covered;     // compatibles with a successor
       std::unordered_set<TupleId> surviving_dirs;
@@ -540,10 +563,12 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
     }
   }
   (void)terminated;
+  if (trace != nullptr && level_span >= 0) trace->CloseSpan(level_span);
 
   // ---- Derive the detailed answer from PickyMan ----------------------------
   {
-    PhaseTimer::Scope scope(phases, phase::kBottomUp);
+    obs::SpanScope answer_span(trace, "answer_construction");
+    obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
     for (const PickyRecord& rec : picky) {
       bool emitted_pair = false;
       for (Rid b : rec.blocked) {
@@ -586,7 +611,8 @@ Result<CTupleExplainResult> NedExplainEngine::ExplainCTuple(
   // Skipped on a partial run: it walks outputs the stopped traversal never
   // produced, and the tripped budget means no more work should be done.
   if (options_.compute_secondary && result.complete) {
-    PhaseTimer::Scope scope(phases, phase::kBottomUp);
+    obs::SpanScope secondary_span(trace, "secondary_answer");
+    obs::PhasedSpanScope scope(phases, phase::kBottomUp, trace);
     // Alias name -> ordinal for lineage-membership tests.
     std::unordered_map<std::string, uint32_t> ordinal_of;
     for (uint32_t i = 0; i < input->aliases().size(); ++i) {

@@ -54,10 +54,12 @@ Status ExecContext::CheckPoint() {
 void ExecContext::BeginWorkerShard(ExecContext* shard) const {
   // Limits are copied so a worker trips deadline/budget locally; counters
   // start at the coordinator's snapshot so "parent-so-far + my morsel" is
-  // what the worker's budget comparison sees. Fault injection and the task
-  // pool are deliberately NOT inherited: injection steps stay a
-  // coordinator-only, deterministic step space, and a worker never fans out
-  // again (no nested morsel explosions).
+  // what the worker's budget comparison sees. Fault injection, the task
+  // pool and the trace are deliberately NOT inherited: injection steps stay
+  // a coordinator-only, deterministic step space, a worker never fans out
+  // again (no nested morsel explosions), and spans are emitted only by the
+  // coordinator so the span tree is identical at any thread count
+  // (trace_test pins this).
   shard->clock_ = clock_;
   shard->deadline_ = deadline_;
   shard->row_budget_ = row_budget_;

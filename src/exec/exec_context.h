@@ -30,6 +30,10 @@
 
 namespace ned {
 
+namespace obs {
+class Trace;
+}  // namespace obs
+
 class TaskPool;
 
 /// Inner loops call CheckEvery() per row; the full CheckPoint() (clock read,
@@ -122,6 +126,17 @@ class ExecContext {
   void set_parallel_min_rows(size_t n) { parallel_min_rows_ = n == 0 ? 1 : n; }
   size_t parallel_min_rows() const { return parallel_min_rows_; }
 
+  // ---- tracing ------------------------------------------------------------
+
+  /// Attaches a per-request span sink (obs/trace.h). Configuration like the
+  /// rest: set before evaluation starts, trace must outlive the context.
+  /// nullptr (the default) keeps every emission site on its two-branch
+  /// fast path. The trace is coordinator-only and deliberately NOT
+  /// propagated to worker shards, which is what makes span structure
+  /// identical across thread counts (docs/OBSERVABILITY.md).
+  void set_trace(obs::Trace* trace) { trace_ = trace; }
+  obs::Trace* trace() const { return trace_; }
+
   // ---- worker shards ------------------------------------------------------
   //
   // Each parallel worker governs its morsel through a private shard context:
@@ -206,6 +221,7 @@ class ExecContext {
   TaskPool* pool_ = nullptr;
   int threads_ = 1;
   size_t parallel_min_rows_ = kDefaultParallelMinRows;
+  obs::Trace* trace_ = nullptr;
   // Worker shards observe the coordinator's cancellation flag (and their
   // counters start at its snapshot, recorded here so folding charges the
   // delta only). Both are configuration from the shard's point of view:

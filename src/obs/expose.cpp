@@ -1,0 +1,226 @@
+#include "obs/expose.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace ned::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Renders {k="v",...}; `extra` appends one more pair (used for le=).
+std::string PromLabels(const LabelSet& labels, const std::string& extra_key,
+                       const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// JSON string escaping (control chars, quote, backslash).
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string QuantileJson(const HistogramSnapshot& histogram, double q) {
+  int64_t v = histogram.QuantileUpperBound(q);
+  if (v == std::numeric_limits<int64_t>::max()) return "null";
+  return std::to_string(v);
+}
+
+}  // namespace
+
+std::string FormatPrometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.name != last_family) {
+      out += "# TYPE ";
+      out += m.name;
+      out += ' ';
+      out += TypeName(m.type);
+      out += '\n';
+      last_family = m.name;
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += m.name;
+        out += PromLabels(m.labels, "", "");
+        out += ' ';
+        out += std::to_string(m.counter_value);
+        out += '\n';
+        break;
+      case MetricType::kGauge:
+        out += m.name;
+        out += PromLabels(m.labels, "", "");
+        out += ' ';
+        out += std::to_string(m.gauge_value);
+        out += '\n';
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < m.histogram.counts.size(); ++i) {
+          cumulative += m.histogram.counts[i];
+          std::string le = i < m.histogram.bounds.size()
+                               ? std::to_string(m.histogram.bounds[i])
+                               : std::string("+Inf");
+          out += m.name;
+          out += "_bucket";
+          out += PromLabels(m.labels, "le", le);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += m.name;
+        out += "_sum";
+        out += PromLabels(m.labels, "", "");
+        out += ' ';
+        out += std::to_string(m.histogram.sum);
+        out += '\n';
+        out += m.name;
+        out += "_count";
+        out += PromLabels(m.labels, "", "");
+        out += ' ';
+        out += std::to_string(m.histogram.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    const MetricSnapshot& m = snapshot[i];
+    out += "  {\n    \"name\": ";
+    out += JsonString(m.name);
+    out += ",\n    \"type\": \"";
+    out += TypeName(m.type);
+    out += "\",\n    \"labels\": {";
+    for (size_t l = 0; l < m.labels.size(); ++l) {
+      if (l > 0) out += ", ";
+      out += JsonString(m.labels[l].first);
+      out += ": ";
+      out += JsonString(m.labels[l].second);
+    }
+    out += "}";
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += ",\n    \"value\": ";
+        out += std::to_string(m.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ",\n    \"value\": ";
+        out += std::to_string(m.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        out += ",\n    \"bounds\": [";
+        for (size_t b = 0; b < m.histogram.bounds.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += std::to_string(m.histogram.bounds[b]);
+        }
+        out += "],\n    \"counts\": [";
+        for (size_t b = 0; b < m.histogram.counts.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += std::to_string(m.histogram.counts[b]);
+        }
+        out += "],\n    \"sum\": ";
+        out += std::to_string(m.histogram.sum);
+        out += ",\n    \"count\": ";
+        out += std::to_string(m.histogram.count);
+        out += ",\n    \"p50\": ";
+        out += QuantileJson(m.histogram, 0.50);
+        out += ",\n    \"p99\": ";
+        out += QuantileJson(m.histogram, 0.99);
+        break;
+      }
+    }
+    out += "\n  }";
+    if (i + 1 < snapshot.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace ned::obs

@@ -1,0 +1,33 @@
+/// \file expose.h
+/// \brief Render a registry snapshot in Prometheus text or JSON form.
+///
+/// Both formatters are deterministic: series arrive sorted from
+/// MetricsRegistry::Collect() and are rendered in that order with fixed
+/// formatting, so the same registry state always produces the same bytes --
+/// the property tests/golden/metrics_*.golden pin.
+
+#ifndef NED_OBS_EXPOSE_H_
+#define NED_OBS_EXPOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ned::obs {
+
+/// Prometheus text exposition format 0.0.4: one `# TYPE` line per family,
+/// histogram series expanded into `_bucket{le=...}` (cumulative, ending in
+/// le="+Inf"), `_sum` and `_count`. Label values are escaped per the spec
+/// (backslash, double-quote, newline).
+std::string FormatPrometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// JSON array of series objects, stable key order, 2-space indent:
+/// {"name","type","labels",value fields}. Histograms carry bounds/counts/
+/// sum/count plus convenience p50/p99 (QuantileUpperBound; the int64-max
+/// overflow sentinel renders as null).
+std::string FormatJson(const std::vector<MetricSnapshot>& snapshot);
+
+}  // namespace ned::obs
+
+#endif  // NED_OBS_EXPOSE_H_

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ned::obs {
+
+int64_t Trace::RelNanos(Clock::TimePoint at) {
+  if (!have_epoch_) {
+    have_epoch_ = true;
+    epoch_ = at;
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(at - epoch_)
+      .count();
+}
+
+int32_t Trace::OpenSpan(std::string name) {
+  return OpenSpanAt(std::move(name), clock_->Now());
+}
+
+int32_t Trace::OpenSpanAt(std::string name, Clock::TimePoint at) {
+  Span span;
+  span.name = std::move(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.start_ns = RelNanos(at);
+  int32_t id = static_cast<int32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Trace::CloseSpan(int32_t id) { CloseSpanAt(id, clock_->Now()); }
+
+void Trace::CloseSpanAt(int32_t id, Clock::TimePoint at) {
+  NED_CHECK_MSG(id >= 0 && static_cast<size_t>(id) < spans_.size(),
+                "CloseSpan on unknown span id");
+  int64_t rel = RelNanos(at);
+  // Close any open descendants first (scopes normally guarantee LIFO order,
+  // but an early return between explicit Open/Close calls must not wedge
+  // the stack).
+  while (!open_stack_.empty()) {
+    int32_t top = open_stack_.back();
+    open_stack_.pop_back();
+    spans_[top].end_ns = rel;
+    if (top == id) return;
+  }
+  NED_CHECK_MSG(false, "CloseSpan on a span that is not open");
+}
+
+namespace {
+
+std::vector<int> Depths(const std::vector<Span>& spans) {
+  std::vector<int> depth(spans.size(), 0);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent >= 0) depth[i] = depth[spans[i].parent] + 1;
+  }
+  return depth;
+}
+
+}  // namespace
+
+std::string Trace::RenderStructure() const {
+  std::vector<int> depth = Depths(spans_);
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    out.append(static_cast<size_t>(depth[i]) * 2, ' ');
+    out += spans_[i].name;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::Render() const {
+  std::vector<int> depth = Depths(spans_);
+  std::string out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    out.append(static_cast<size_t>(depth[i]) * 2, ' ');
+    out += span.name;
+    out += ' ';
+    if (span.end_ns >= 0) {
+      out += std::to_string((span.end_ns - span.start_ns) / 1000);
+      out += "us";
+    } else {
+      out += "(open)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+int64_t Trace::PhaseNanos(const std::string& name) const {
+  int64_t total = 0;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& span = spans_[i];
+    if (span.name != name || span.end_ns < 0) continue;
+    // Skip spans with a same-named ancestor: the ancestor's interval
+    // already covers this one.
+    bool nested = false;
+    for (int32_t p = span.parent; p >= 0; p = spans_[p].parent) {
+      if (spans_[p].name == name) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) total += span.end_ns - span.start_ns;
+  }
+  return total;
+}
+
+}  // namespace ned::obs

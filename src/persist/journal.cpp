@@ -114,7 +114,7 @@ Result<std::unique_ptr<Journal>> Journal::Open(
                        ListSegments(options.dir));
 
   std::unique_ptr<Journal> journal(new Journal(options));
-  JournalStats& stats = journal->stats_;
+  JournalStats& stats = journal->open_stats_;
   uint64_t max_seq = 0;
   bool corrupted = false;  // once set, every later segment is deleted
 
@@ -295,7 +295,7 @@ Status Journal::WriteRawLocked(std::string_view bytes) {
     written += static_cast<size_t>(n);
   }
   segment_size_ += bytes.size();
-  stats_.bytes_written += bytes.size();
+  bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -311,7 +311,7 @@ Status Journal::SyncLocked() {
                        SegmentName(segment_index_));
   }
   synced_size_ = segment_size_;
-  ++stats_.syncs;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -344,7 +344,7 @@ Status Journal::Append(JournalRecordType type, std::string_view payload) {
     return CrashStatus("unsynced append lost to power loss");
   }
   ++next_seq_;
-  ++stats_.appends;
+  appends_.fetch_add(1, std::memory_order_relaxed);
   if (options_.fsync == FsyncPolicy::kEveryRecord) {
     NED_RETURN_NOT_OK(SyncLocked());
   }
@@ -363,7 +363,7 @@ Status Journal::Append(JournalRecordType type, std::string_view payload) {
       return CrashStatus("between segments");
     }
     NED_RETURN_NOT_OK(OpenFreshSegmentLocked(segment_index_ + 1));
-    ++stats_.rotations;
+    rotations_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -396,8 +396,12 @@ Status Journal::DropOldSegments() {
 }
 
 JournalStats Journal::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  JournalStats out = open_stats_;
+  out.appends = appends_.load(std::memory_order_relaxed);
+  out.syncs = syncs_.load(std::memory_order_relaxed);
+  out.rotations = rotations_.load(std::memory_order_relaxed);
+  out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Journal::FlusherMain() {
@@ -429,7 +433,7 @@ void Journal::FlusherMain() {
       continue;
     }
     synced_size_ = std::max(synced_size_, target);
-    ++stats_.syncs;
+    syncs_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

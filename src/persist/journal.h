@@ -30,6 +30,7 @@
 #ifndef NED_PERSIST_JOURNAL_H_
 #define NED_PERSIST_JOURNAL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -105,6 +106,10 @@ class Journal {
   /// recovery re-journals the completed book and pending requests).
   Status DropOldSegments();
 
+  /// Lock-free thin read: the hot counters are atomics (tools and tests
+  /// poll stats() concurrently with Append, which previously required
+  /// taking mu_ on every read) and the recovery fields are written only by
+  /// Open() before the journal is shared.
   JournalStats stats() const;
 
   /// Frames a record exactly as Append writes it (exposed for tests that
@@ -133,7 +138,16 @@ class Journal {
   uint64_t synced_size_ = 0;  ///< offset already fsynced (power-loss sim)
   uint64_t next_seq_ = 1;
   bool broken_ = false;  ///< set on first IO error; appends fail after
-  JournalStats stats_;
+  /// Hot-path counters, atomic so stats() never takes mu_. Writers hold
+  /// mu_ anyway; the atomics exist for the off-lock readers.
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> rotations_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  /// Recovery-time fields (recovered_records, truncated_bytes,
+  /// dropped_segments): written by Open() before any other thread can see
+  /// the journal, immutable afterwards.
+  JournalStats open_stats_;
 
   std::thread flusher_;
   std::condition_variable flusher_cv_;

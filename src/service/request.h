@@ -52,6 +52,11 @@ struct WhyNotRequest {
   /// applies. Requests with either chaos knob set bypass implicitly --
   /// injected faults must actually run.
   bool bypass_answer_cache = false;
+  /// Record a per-request span trace (obs/trace.h) and deliver it on the
+  /// Submission/WhyNotResponse. Transport-only: deliberately NOT journaled
+  /// by the request codec, so a recovered request re-runs without tracing
+  /// (no wire-format bump; see docs/OBSERVABILITY.md).
+  bool collect_trace = false;
   NedExplainOptions engine_options;
 };
 

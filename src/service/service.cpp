@@ -103,6 +103,16 @@ struct WhyNotService::Job {
   /// ACCEPT unresolved on purpose -- that is what makes the request
   /// recoverable.
   bool keep_recoverable = false;
+  /// Per-request span trace; null unless the request set collect_trace.
+  /// Single-threaded by design: the submit thread writes the admission
+  /// spans, then exactly one worker writes the rest -- the handoff is
+  /// sequenced by mu_ (admit under lock, pop under lock), and expired/
+  /// drained jobs are likewise owned by one thread after leaving the
+  /// scheduler. The watchdog never touches it.
+  std::shared_ptr<obs::Trace> trace;
+  /// Open "queue_wait" span id; closed at dispatch (or defensively by
+  /// Finalize for jobs that never reach a worker). -1 = none.
+  int32_t queue_wait_span = -1;
   std::shared_ptr<ExecContext> ctx;
   Clock::TimePoint submit_time;
   Clock::TimePoint deadline;
@@ -143,6 +153,7 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
   NED_CHECK_MSG(catalog_ != nullptr, "service needs a catalog");
   NED_CHECK_MSG(options_.workers > 0, "service needs at least one worker");
   NED_CHECK_MSG(options_.queue_capacity > 0, "queue capacity must be > 0");
+  RegisterMetrics();
   if (!options_.persist_dir.empty()) {
     // Durability must be trustworthy or absent: an unopenable journal or
     // store directory is a deployment error, not something to run without.
@@ -187,6 +198,132 @@ WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
 
 WhyNotService::~WhyNotService() { Shutdown(/*drain=*/true); }
 
+void WhyNotService::RegisterMetrics() {
+  // Metric catalog lives in docs/OBSERVABILITY.md; names and label sets are
+  // part of the exposition golden contract -- change them deliberately.
+  auto req = [this](const char* event) {
+    return registry_.GetCounter("ned_service_requests_total",
+                                {{"event", event}});
+  };
+  stat_.submitted = req("submitted");
+  stat_.accepted = req("accepted");
+  stat_.completed = req("completed");
+  stat_.rejected_shutdown = req("rejected_shutdown");
+  stat_.deduped_inflight = req("deduped_inflight");
+  stat_.served_from_cache = req("served_from_completed");
+  stat_.transient_failures = req("transient_failure");
+  stat_.watchdog_cancels = req("watchdog_cancel");
+  stat_.expired_in_queue = req("expired_in_queue");
+  stat_.breaker_fast_fails = req("breaker_fast_fail");
+  stat_.degraded = req("degraded");
+  stat_.degraded_not_cached = req("degraded_not_cached");
+  stat_.partial_not_cached = req("partial_not_cached");
+  auto shed = [this](const char* reason) {
+    return registry_.GetCounter("ned_service_shed_total", {{"reason", reason}});
+  };
+  stat_.shed_queue_full = shed("queue_full");
+  stat_.shed_memory = shed("memory");
+  stat_.shed_client_quota = shed("client_quota");
+  stat_.shed_brownout = shed("brownout");
+  auto cache = [this](const char* event) {
+    return registry_.GetCounter("ned_answer_cache_total", {{"event", event}});
+  };
+  stat_.answer_cache_hits = cache("hit");
+  stat_.answer_cache_misses = cache("miss");
+  stat_.answer_cache_inserts = cache("insert");
+  stat_.answer_cache_bypass = cache("bypass");
+  auto store = [this](const char* event) {
+    return registry_.GetCounter("ned_answer_store_total", {{"event", event}});
+  };
+  stat_.answer_store_hits = store("hit");
+  stat_.answer_store_misses = store("miss");
+  stat_.answer_store_puts = store("put");
+  auto journal = [this](const char* event) {
+    return registry_.GetCounter("ned_journal_total", {{"event", event}});
+  };
+  stat_.journaled_accepts = journal("accept");
+  stat_.journaled_completes = journal("complete");
+  stat_.journaled_sheds = journal("shed");
+  stat_.journal_append_failures = journal("append_failure");
+
+  queue_us_ = registry_.GetHistogram("ned_request_queue_us", {},
+                                     obs::DefaultLatencyBoundsUs());
+  exec_us_ = registry_.GetHistogram("ned_request_exec_us", {},
+                                    obs::DefaultLatencyBoundsUs());
+  total_us_ = registry_.GetHistogram("ned_request_total_us", {},
+                                     obs::DefaultLatencyBoundsUs());
+
+  registry_.RegisterCollector([this] { CollectMirrors(); });
+}
+
+void WhyNotService::CollectMirrors() {
+  // Mirror gauges: subsystems keep their own internally-locked stats; the
+  // collector copies them into the registry at Collect() time instead of
+  // threading registry handles through every constructor. Runs outside the
+  // registry's shard locks; takes mu_ briefly for the scheduler-side view.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.GetGauge("ned_queue_depth")
+        ->Set(static_cast<int64_t>(scheduler_.size()));
+    registry_.GetGauge("ned_inflight_requests")
+        ->Set(static_cast<int64_t>(inflight_.size()));
+    registry_.GetGauge("ned_admitted_bytes")
+        ->Set(static_cast<int64_t>(admitted_bytes_));
+    registry_.GetGauge("ned_brownout_level")
+        ->Set(brownout_ != nullptr ? brownout_->level() : 0);
+  }
+  if (breaker_ != nullptr) {
+    const CircuitBreaker::Stats b = breaker_->stats();
+    registry_.GetGauge("ned_breaker_opens")->Set(
+        static_cast<int64_t>(b.opens));
+    registry_.GetGauge("ned_breaker_reopens")
+        ->Set(static_cast<int64_t>(b.reopens));
+    registry_.GetGauge("ned_breaker_probes")
+        ->Set(static_cast<int64_t>(b.probes));
+    registry_.GetGauge("ned_breaker_fast_fails")
+        ->Set(static_cast<int64_t>(b.fast_fails));
+    registry_.GetGauge("ned_breaker_tracked_keys")
+        ->Set(static_cast<int64_t>(b.tracked_keys));
+  }
+  auto mirror_cache = [this](const char* which, const LruStats& s) {
+    auto gauge = [&](const char* field) {
+      return registry_.GetGauge(StrCat("ned_cache_", field),
+                                {{"cache", which}});
+    };
+    gauge("hits")->Set(static_cast<int64_t>(s.hits));
+    gauge("misses")->Set(static_cast<int64_t>(s.misses));
+    gauge("inserts")->Set(static_cast<int64_t>(s.inserts));
+    gauge("evictions")->Set(static_cast<int64_t>(s.evictions));
+    gauge("entries")->Set(static_cast<int64_t>(s.entries));
+    gauge("bytes")->Set(static_cast<int64_t>(s.bytes));
+  };
+  if (subtree_cache_ != nullptr) {
+    mirror_cache("subtree", subtree_cache_->stats());
+  }
+  if (answer_cache_ != nullptr) mirror_cache("answer", answer_cache_->stats());
+  if (journal_ != nullptr) {
+    const JournalStats j = journal_->stats();
+    registry_.GetGauge("ned_journal_appends")
+        ->Set(static_cast<int64_t>(j.appends));
+    registry_.GetGauge("ned_journal_syncs")
+        ->Set(static_cast<int64_t>(j.syncs));
+    registry_.GetGauge("ned_journal_rotations")
+        ->Set(static_cast<int64_t>(j.rotations));
+    registry_.GetGauge("ned_journal_bytes_written")
+        ->Set(static_cast<int64_t>(j.bytes_written));
+  }
+  if (task_pool_ != nullptr) {
+    registry_.GetGauge("ned_parallel_pool_threads")
+        ->Set(task_pool_->thread_count());
+    registry_.GetGauge("ned_parallel_peak_active")
+        ->Set(static_cast<int64_t>(task_pool_->peak_active()));
+    registry_.GetGauge("ned_parallel_pool_tasks")
+        ->Set(static_cast<int64_t>(task_pool_->pool_tasks_run()));
+    registry_.GetGauge("ned_parallel_inline_tasks")
+        ->Set(static_cast<int64_t>(task_pool_->inline_tasks_run()));
+  }
+}
+
 int64_t WhyNotService::SuggestedBackoffLocked() const {
   const int64_t load_factor =
       1 + static_cast<int64_t>(scheduler_.size()) / options_.workers;
@@ -210,9 +347,9 @@ void WhyNotService::JournalShedLocked(const std::string& key) {
   std::string payload;
   wire::PutStr(&payload, key);
   if (journal_->Append(JournalRecordType::kShed, payload).ok()) {
-    ++stats_.journaled_sheds;
+    stat_.journaled_sheds->Increment();
   } else {
-    ++stats_.journal_append_failures;
+    stat_.journal_append_failures->Increment();
   }
 }
 
@@ -226,36 +363,66 @@ void WhyNotService::UpdateBrownoutLocked() {
                 static_cast<double>(options_.memory_watermark_bytes)
           : 0.0;
   brownout_->Update(queue_frac, mem_frac);
+  // Ladder transitions are rare enough that the per-edge counter lookup
+  // (shard lock + map probe) costs nothing on the steady path.
+  const int level = brownout_->level();
+  if (level != last_brownout_level_) {
+    registry_
+        .GetCounter("ned_brownout_transitions_total",
+                    {{"from", std::to_string(last_brownout_level_)},
+                     {"to", std::to_string(level)}})
+        ->Increment();
+    last_brownout_level_ = level;
+  }
 }
 
 WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   Submission sub;
+  // Per-request trace: the admission span covers everything Submit does.
+  // Sync outcomes (sheds, dedupes, cache hits) deliver it on the
+  // Submission; admitted requests hand it to the Job and deliver the full
+  // trace on the response.
+  std::shared_ptr<obs::Trace> trace;
+  int32_t admission_span = -1;
+  if (request.collect_trace) {
+    trace = std::make_shared<obs::Trace>(clock_);
+    admission_span = trace->OpenSpan("admission");
+  }
+  const auto finish_sync = [&] {
+    if (trace != nullptr) {
+      trace->CloseSpan(admission_span);
+      sub.trace = trace;
+    }
+  };
   std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.submitted;
+  stat_.submitted->Increment();
   if (request.key.empty()) {
     request.key = StrCat("auto-", ++next_auto_key_);
   }
   if (!accepting_) {
-    ++stats_.rejected_shutdown;
+    stat_.rejected_shutdown->Increment();
     sub.status = Status::Unavailable("service shutting down");
+    finish_sync();
     return sub;
   }
   // Idempotency: a completed key re-serves its cached response; an
   // in-flight key coalesces onto the pending execution. Neither runs twice.
   if (auto it = completed_.find(request.key); it != completed_.end()) {
-    ++stats_.served_from_cache;
+    stat_.served_from_cache->Increment();
     std::promise<WhyNotResponse> ready;
     ready.set_value(it->second);
     sub.status = Status::OK();
     sub.deduped = true;
     sub.response = ready.get_future().share();
+    finish_sync();
     return sub;
   }
   if (auto it = inflight_.find(request.key); it != inflight_.end()) {
-    ++stats_.deduped_inflight;
+    stat_.deduped_inflight->Increment();
     sub.status = Status::OK();
     sub.deduped = true;
     sub.response = it->second->future;
+    finish_sync();
     return sub;
   }
   // Circuit breaker: a content key with an open breaker is rejected
@@ -266,11 +433,16 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   if (breaker_ != nullptr) {
     breaker_key = MakeBreakerKey(request.db_name, request.sql,
                                  request.question.ToString());
-    const CircuitBreaker::Decision decision = breaker_->Check(breaker_key);
+    CircuitBreaker::Decision decision;
+    {
+      obs::SpanScope span(trace.get(), "breaker_check");
+      decision = breaker_->Check(breaker_key);
+    }
     if (decision.gate == CircuitBreaker::Gate::kFastFail) {
-      ++stats_.breaker_fast_fails;
+      stat_.breaker_fast_fails->Increment();
       sub.status = decision.cached_error;
       sub.breaker_fast_fail = true;
+      finish_sync();
       return sub;
     }
   }
@@ -280,11 +452,15 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   // without consuming queue or memory capacity. With persistence on, the
   // snapshot also carries the content fingerprint the durable key embeds
   // (cached per version -- only the first pin after a reload hashes).
-  auto snapshot = answer_store_ != nullptr
-                      ? catalog_->GetSnapshotWithFingerprint(request.db_name)
-                      : catalog_->GetSnapshot(request.db_name);
+  auto snapshot = [&] {
+    obs::SpanScope span(trace.get(), "snapshot_pin");
+    return answer_store_ != nullptr
+               ? catalog_->GetSnapshotWithFingerprint(request.db_name)
+               : catalog_->GetSnapshot(request.db_name);
+  }();
   if (!snapshot.ok()) {
     sub.status = snapshot.status();  // permanent: do not retry
+    finish_sync();
     return sub;
   }
   const size_t mem = request.memory_budget != 0 ? request.memory_budget
@@ -308,8 +484,13 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
         request.db_name, snapshot->version, request.sql,
         request.question.ToString(), rows, mem,
         EngineOptionBits(request.engine_options));
-    if (AnswerCache::Ptr hit = answer_cache_->Lookup(answer_key)) {
-      ++stats_.answer_cache_hits;
+    AnswerCache::Ptr hit;
+    {
+      obs::SpanScope span(trace.get(), "answer_cache_lookup");
+      hit = answer_cache_->Lookup(answer_key);
+    }
+    if (hit != nullptr) {
+      stat_.answer_cache_hits->Increment();
       WhyNotResponse response;
       response.key = request.key;
       response.status = Status::OK();
@@ -325,11 +506,12 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
       ready.set_value(std::move(response));
       sub.status = Status::OK();
       sub.response = ready.get_future().share();
+      finish_sync();
       return sub;
     }
-    ++stats_.answer_cache_misses;
+    stat_.answer_cache_misses->Increment();
   } else if (answer_cache_ != nullptr) {
-    ++stats_.answer_cache_bypass;
+    stat_.answer_cache_bypass->Increment();
   }
 
   // Durable answer store: an answer computed for identical database
@@ -351,31 +533,37 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     // can move while the lock is down, so the admission-order checks that
     // preceded it (shutdown, idempotency) re-run after relocking.
     lock.unlock();
-    auto stored = answer_store_->Lookup(store_key);
+    auto stored = [&] {
+      obs::SpanScope span(trace.get(), "store_lookup");
+      return answer_store_->Lookup(store_key);
+    }();
     lock.lock();
     if (!accepting_) {
-      ++stats_.rejected_shutdown;
+      stat_.rejected_shutdown->Increment();
       sub.status = Status::Unavailable("service shutting down");
+      finish_sync();
       return sub;
     }
     if (auto it = completed_.find(request.key); it != completed_.end()) {
-      ++stats_.served_from_cache;
+      stat_.served_from_cache->Increment();
       std::promise<WhyNotResponse> ready;
       ready.set_value(it->second);
       sub.status = Status::OK();
       sub.deduped = true;
       sub.response = ready.get_future().share();
+      finish_sync();
       return sub;
     }
     if (auto it = inflight_.find(request.key); it != inflight_.end()) {
-      ++stats_.deduped_inflight;
+      stat_.deduped_inflight->Increment();
       sub.status = Status::OK();
       sub.deduped = true;
       sub.response = it->second->future;
+      finish_sync();
       return sub;
     }
     if (stored.ok()) {
-      ++stats_.answer_store_hits;
+      stat_.answer_store_hits->Increment();
       WhyNotResponse response;
       response.key = request.key;
       response.status = Status::OK();
@@ -393,9 +581,10 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
       ready.set_value(std::move(response));
       sub.status = Status::OK();
       sub.response = ready.get_future().share();
+      finish_sync();
       return sub;
     }
-    ++stats_.answer_store_misses;
+    stat_.answer_store_misses->Increment();
   }
 
   // Brownout L3: the deepest rung stops admitting non-interactive work
@@ -405,11 +594,12 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     UpdateBrownoutLocked();
     if (brownout_->level() >= 3 &&
         request.priority != Priority::kInteractive) {
-      ++stats_.shed_brownout;
+      stat_.shed_brownout->Increment();
       sub.status = Status::Unavailable(
           StrCat("brownout L3: shedding ", PriorityName(request.priority),
                  " work"));
       sub.retry_after_ms = SuggestedBackoffLocked();
+      finish_sync();
       return sub;
     }
   }
@@ -418,11 +608,12 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   // or a retry loop would never terminate.
   if (options_.memory_watermark_bytes != 0 && !inflight_.empty() &&
       admitted_bytes_ + mem > options_.memory_watermark_bytes) {
-    ++stats_.shed_memory;
+    stat_.shed_memory->Increment();
     sub.status = Status::Unavailable(
         StrCat("overloaded: memory watermark (", admitted_bytes_, " + ", mem,
                " > ", options_.memory_watermark_bytes, " bytes)"));
     sub.retry_after_ms = SuggestedBackoffLocked();
+    finish_sync();
     return sub;
   }
 
@@ -467,16 +658,21 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   // journal (they need mu_ to pop the job). Fail-closed: if the journal
   // cannot append, the request is shed rather than accepted unjournaled.
   if (journal_ != nullptr) {
-    const Status journaled = journal_->Append(JournalRecordType::kAccept,
-                                              EncodeRequest(job->request));
+    Status journaled;
+    {
+      obs::SpanScope span(trace.get(), "journal_append");
+      journaled = journal_->Append(JournalRecordType::kAccept,
+                                   EncodeRequest(job->request));
+    }
     if (!journaled.ok()) {
-      ++stats_.journal_append_failures;
+      stat_.journal_append_failures->Increment();
       sub.status = Status::Unavailable(
           StrCat("journal unavailable: ", journaled.message()));
       sub.retry_after_ms = SuggestedBackoffLocked();
+      finish_sync();
       return sub;
     }
-    ++stats_.journaled_accepts;
+    stat_.journaled_accepts->Increment();
   }
 
   // Admission through the priority scheduler: strict class priority, EDF
@@ -488,14 +684,15 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
       job, job->request.priority, job->deadline, job->request.client_id});
   switch (admit) {
     case Scheduler::Admit::kQueueFull:
-      ++stats_.shed_queue_full;
+      stat_.shed_queue_full->Increment();
       JournalShedLocked(job->request.key);
       sub.status = Status::Unavailable(
           StrCat("overloaded: queue full (", scheduler_.size(), " queued)"));
       sub.retry_after_ms = SuggestedBackoffLocked();
+      finish_sync();
       return sub;
     case Scheduler::Admit::kClientQuota:
-      ++stats_.shed_client_quota;
+      stat_.shed_client_quota->Increment();
       JournalShedLocked(job->request.key);
       sub.status = Status::Unavailable(
           StrCat("fair share: client \"", job->request.client_id, "\" has ",
@@ -503,13 +700,24 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
                  " requests in flight (limit ", options_.per_client_limit,
                  ")"));
       sub.retry_after_ms = SuggestedBackoffLocked();
+      finish_sync();
       return sub;
     case Scheduler::Admit::kOk:
       break;
   }
   inflight_.emplace(job->request.key, job);
   admitted_bytes_ += mem;
-  ++stats_.accepted;
+  stat_.accepted->Increment();
+  if (trace != nullptr) {
+    // Admission ends here; the queue_wait span stays open until a worker
+    // dispatches the job (or Finalize closes it for jobs that never reach
+    // one). The handoff is sequenced by mu_: workers pop under the same
+    // lock this admission holds.
+    trace->CloseSpan(admission_span);
+    job->queue_wait_span = trace->OpenSpan("queue_wait");
+    job->trace = std::move(trace);
+    job->ctx->set_trace(job->trace.get());
+  }
   sub.status = Status::OK();
   sub.response = job->future;
   lock.unlock();
@@ -556,11 +764,18 @@ void WhyNotService::FailExpired(const std::shared_ptr<Job>& job) {
 
 void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   const WhyNotRequest& req = job->request;
+  obs::Trace* const trace = job->trace.get();
   WhyNotResponse response;
   response.key = req.key;
   response.snapshot_version = job->snapshot.version;
   const Clock::TimePoint exec_start = clock_->Now();
   response.queue_ms = MsSince(job->submit_time, exec_start);
+  if (trace != nullptr && job->queue_wait_span >= 0) {
+    trace->CloseSpan(job->queue_wait_span);
+    job->queue_wait_span = -1;
+  }
+  const int32_t exec_span =
+      trace != nullptr ? trace->OpenSpan("execute") : -1;
   int brownout_level = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -583,16 +798,15 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
     if (decision.gate == CircuitBreaker::Gate::kFastFail) {
       response.status = decision.cached_error;
       response.breaker_fast_fail = true;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.breaker_fast_fails;
-      }
+      stat_.breaker_fast_fails->Increment();
+      if (trace != nullptr) trace->CloseSpan(exec_span);
       Finalize(job, std::move(response), /*final=*/true);
       return;
     }
     breaker_began = true;
   }
   const auto finish = [&](bool final) {
+    if (trace != nullptr) trace->CloseSpan(exec_span);
     if (breaker_began) breaker_->End(job->breaker_key, response.status);
     Finalize(job, std::move(response), final);
   };
@@ -601,10 +815,10 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   if (response.attempt <= req.inject_transient_failures) {
     response.status = Status::Unavailable(
         StrCat("injected transient fault (attempt ", response.attempt, ")"));
+    stat_.transient_failures->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       response.retry_after_ms = SuggestedBackoffLocked();
-      ++stats_.transient_failures;
     }
     response.exec_ms = MsSince(exec_start, clock_->Now());
     finish(/*final=*/false);
@@ -614,7 +828,10 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   // Crash isolation: every failure below lands in `response.status` for
   // this request alone; the worker and its siblings carry on.
   const Database& db = *job->snapshot.db;
-  auto tree = CompileSql(req.sql, db);
+  auto tree = [&] {
+    obs::SpanScope span(trace, "compile");
+    return CompileSql(req.sql, db);
+  }();
   if (!tree.ok()) {
     response.status = tree.status();
     response.exec_ms = MsSince(exec_start, clock_->Now());
@@ -641,20 +858,27 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
     finish(/*final=*/true);
     return;
   }
-  auto result = engine->Explain(req.question, job->ctx.get());
+  auto result = [&] {
+    // The engine's own phase spans (Initialization, per-ctuple, per-level
+    // TabQ, ...) nest under this one via the ExecContext trace.
+    obs::SpanScope span(trace, "engine");
+    return engine->Explain(req.question, job->ctx.get());
+  }();
   response.exec_ms = MsSince(exec_start, clock_->Now());
   if (!result.ok()) {
     // Non-resource error (resource limits come back as OK partials).
     response.status = result.status();
   } else {
     response.status = Status::OK();
-    response.answer = SummarizeResult(*engine, *result);
-    if (brownout_level > 0) {
-      ApplyBrownoutToSummary(brownout_level, options_.brownout.detailed_cap,
-                             &response.answer);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.degraded;
+    {
+      obs::SpanScope span(trace, "render");
+      response.answer = SummarizeResult(*engine, *result);
+      if (brownout_level > 0) {
+        ApplyBrownoutToSummary(brownout_level, options_.brownout.detailed_cap,
+                               &response.answer);
+      }
     }
+    if (brownout_level > 0) stat_.degraded->Increment();
   }
   // Completeness gate: only answers that reflect the data -- not the budgets
   // of the run that produced them -- enter the content-addressed cache. A
@@ -665,18 +889,15 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   if (!job->answer_cache_key.empty() && answer_cache_ != nullptr &&
       response.status.ok()) {
     if (response.answer.degradation_level > 0) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.degraded_not_cached;
+      stat_.degraded_not_cached->Increment();
     } else if (response.answer.complete) {
       auto cached = std::make_shared<CachedAnswer>();
       cached->summary = response.answer;
       cached->snapshot_version = job->snapshot.version;
       answer_cache_->Insert(job->answer_cache_key, std::move(cached));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.answer_cache_inserts;
+      stat_.answer_cache_inserts->Increment();
     } else {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.partial_not_cached;
+      stat_.partial_not_cached->Increment();
     }
   }
   // Durable spill, under the same honesty gates as the in-memory cache:
@@ -687,6 +908,7 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
   if (answer_store_ != nullptr && !job->store_key.empty() &&
       response.status.ok() && response.answer.complete &&
       response.answer.degradation_level == 0) {
+    obs::SpanScope store_span(trace, "store_put");
     StoreManifestEntry manifest;
     manifest.db_name = req.db_name;
     manifest.content_fingerprint = job->snapshot.content_fingerprint;
@@ -697,8 +919,7 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
     }
     if (answer_store_->Put(job->store_key, response.answer, manifest).ok()) {
       job->stored_answer = true;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.answer_store_puts;
+      stat_.answer_store_puts->Increment();
     }
   }
   finish(/*final=*/true);
@@ -706,6 +927,15 @@ void WhyNotService::Execute(const std::shared_ptr<Job>& job) {
 
 void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
                              WhyNotResponse response, bool final) {
+  obs::Trace* const trace = job->trace.get();
+  if (trace != nullptr && job->queue_wait_span >= 0) {
+    // Jobs that never reached a worker (expired in queue, drained, shut
+    // down) arrive here with the queue_wait span still open.
+    trace->CloseSpan(job->queue_wait_span);
+    job->queue_wait_span = -1;
+  }
+  const int32_t finalize_span =
+      trace != nullptr ? trace->OpenSpan("finalize") : -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.erase(job->request.key);
@@ -735,18 +965,23 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
         wire::PutU8(&payload, static_cast<uint8_t>(response.status.code()));
         wire::PutU8(&payload, job->stored_answer ? 1 : 0);
         wire::PutStr(&payload, job->store_key);
-        if (journal_->Append(JournalRecordType::kComplete, payload).ok()) {
-          ++stats_.journaled_completes;
+        Status appended;
+        {
+          obs::SpanScope span(trace, "journal_append");
+          appended = journal_->Append(JournalRecordType::kComplete, payload);
+        }
+        if (appended.ok()) {
+          stat_.journaled_completes->Increment();
         } else {
-          ++stats_.journal_append_failures;
+          stat_.journal_append_failures->Increment();
         }
       } else if (!job->keep_recoverable) {
         JournalShedLocked(job->request.key);
       }
     }
     if (final) {
-      ++stats_.completed;
-      if (response.expired_in_queue) ++stats_.expired_in_queue;
+      stat_.completed->Increment();
+      if (response.expired_in_queue) stat_.expired_in_queue->Increment();
       attempts_.erase(job->request.key);
       RememberCompletedLocked(job->request.key, response);
     }
@@ -763,6 +998,18 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
       UpdateBrownoutLocked();
     }
   }
+  if (final) {
+    // End-to-end latency distributions: final outcomes only, so retried
+    // attempts do not double-count their queue time.
+    queue_us_->Observe(static_cast<int64_t>(response.queue_ms * 1000.0));
+    exec_us_->Observe(static_cast<int64_t>(response.exec_ms * 1000.0));
+    total_us_->Observe(static_cast<int64_t>(
+        (response.queue_ms + response.exec_ms) * 1000.0));
+  }
+  if (trace != nullptr) {
+    trace->CloseSpan(finalize_span);
+    response.trace = job->trace;
+  }
   job->promise.set_value(std::move(response));
 }
 
@@ -778,7 +1025,7 @@ void WhyNotService::WatchdogLoop() {
         // normally trip first, but the watchdog guarantees the bound.
         job->ctx->RequestCancel();
         job->watchdog_fired = true;
-        ++stats_.watchdog_cancels;
+        stat_.watchdog_cancels->Increment();
       }
     }
     // Queued-but-expired entries are also failed fast from here, so expiry
@@ -1068,8 +1315,39 @@ WhyNotService::RecoveryReport WhyNotService::Recover() {
 }
 
 WhyNotService::Stats WhyNotService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Lock-free: each field is one relaxed atomic load. The snapshot is not
+  // cross-field consistent (it never was -- callers previously raced the
+  // increments too), but every individual counter is exact.
+  Stats s;
+  s.submitted = stat_.submitted->value();
+  s.accepted = stat_.accepted->value();
+  s.shed_queue_full = stat_.shed_queue_full->value();
+  s.shed_memory = stat_.shed_memory->value();
+  s.shed_client_quota = stat_.shed_client_quota->value();
+  s.shed_brownout = stat_.shed_brownout->value();
+  s.rejected_shutdown = stat_.rejected_shutdown->value();
+  s.deduped_inflight = stat_.deduped_inflight->value();
+  s.served_from_cache = stat_.served_from_cache->value();
+  s.completed = stat_.completed->value();
+  s.transient_failures = stat_.transient_failures->value();
+  s.watchdog_cancels = stat_.watchdog_cancels->value();
+  s.expired_in_queue = stat_.expired_in_queue->value();
+  s.breaker_fast_fails = stat_.breaker_fast_fails->value();
+  s.degraded = stat_.degraded->value();
+  s.degraded_not_cached = stat_.degraded_not_cached->value();
+  s.answer_cache_hits = stat_.answer_cache_hits->value();
+  s.answer_cache_misses = stat_.answer_cache_misses->value();
+  s.answer_cache_inserts = stat_.answer_cache_inserts->value();
+  s.answer_cache_bypass = stat_.answer_cache_bypass->value();
+  s.partial_not_cached = stat_.partial_not_cached->value();
+  s.journaled_accepts = stat_.journaled_accepts->value();
+  s.journaled_completes = stat_.journaled_completes->value();
+  s.journaled_sheds = stat_.journaled_sheds->value();
+  s.journal_append_failures = stat_.journal_append_failures->value();
+  s.answer_store_hits = stat_.answer_store_hits->value();
+  s.answer_store_misses = stat_.answer_store_misses->value();
+  s.answer_store_puts = stat_.answer_store_puts->value();
+  return s;
 }
 
 size_t WhyNotService::queue_depth() const {

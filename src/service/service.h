@@ -74,6 +74,8 @@
 #include "cache/answer_cache.h"
 #include "cache/subtree_cache.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/nedexplain.h"
 #include "core/report.h"
 #include "exec/exec_context.h"
@@ -218,6 +220,10 @@ struct WhyNotResponse {
   /// True when an open circuit breaker short-circuited execution: `status`
   /// is the breaker's cached error for this content key.
   bool breaker_fast_fail = false;
+  /// Per-request span trace (admission, queue wait, the engine's Fig. 5
+  /// phases, finalize). Non-null only when the request set `collect_trace`;
+  /// immutable once the response resolves. See docs/OBSERVABILITY.md.
+  std::shared_ptr<const obs::Trace> trace;
 
   bool retryable() const { return status.code() == StatusCode::kUnavailable; }
 };
@@ -241,9 +247,17 @@ class WhyNotService {
     /// True when an open breaker rejected the submission synchronously with
     /// its cached error (no admission, no execution).
     bool breaker_fast_fail = false;
+    /// Admission-side span trace for submissions resolved synchronously
+    /// (sheds, breaker fast-fails, cache/store hits). Requests that were
+    /// admitted instead deliver their full trace on the WhyNotResponse.
+    /// Non-null only when the request set `collect_trace`.
+    std::shared_ptr<const obs::Trace> trace;
   };
 
   /// Monotonic counters; `Check` invariants are asserted from them.
+  /// Snapshot struct only: the live values are registry-backed atomics
+  /// (obs::Counter), so stats() is a lock-free thin read -- previously
+  /// these were plain fields guarded by mu_ that tools read off-lock.
   struct Stats {
     uint64_t submitted = 0;
     uint64_t accepted = 0;
@@ -374,6 +388,15 @@ class WhyNotService {
   size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// The service's unified metrics registry (src/obs/): every counter in
+  /// Stats, latency histograms (ned_request_{queue,exec,total}_us) and
+  /// mirror gauges for the scheduler, brownout, breaker, cache, journal and
+  /// parallel-pool internals, refreshed by a collector at Collect() time.
+  /// Collect() takes the service mutex via that collector -- never call it
+  /// while holding locks that order after mu_. See docs/OBSERVABILITY.md
+  /// for the catalog.
+  obs::MetricsRegistry* metrics() const { return &registry_; }
+
   /// Current brownout ladder level (0 when brownout is disabled).
   int brownout_level() const;
   /// Breaker counters (all-zero when breakers are disabled).
@@ -402,6 +425,45 @@ class WhyNotService {
   struct Job;
   using Scheduler = PriorityScheduler<std::shared_ptr<Job>>;
 
+  /// Registry handles behind the Stats snapshot: one obs::Counter per
+  /// field, registered once at construction. Increment sites need no lock;
+  /// readers (stats(), exposition) are race-free by construction.
+  struct StatCounters {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* shed_queue_full = nullptr;
+    obs::Counter* shed_memory = nullptr;
+    obs::Counter* shed_client_quota = nullptr;
+    obs::Counter* shed_brownout = nullptr;
+    obs::Counter* rejected_shutdown = nullptr;
+    obs::Counter* deduped_inflight = nullptr;
+    obs::Counter* served_from_cache = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* transient_failures = nullptr;
+    obs::Counter* watchdog_cancels = nullptr;
+    obs::Counter* expired_in_queue = nullptr;
+    obs::Counter* breaker_fast_fails = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* degraded_not_cached = nullptr;
+    obs::Counter* answer_cache_hits = nullptr;
+    obs::Counter* answer_cache_misses = nullptr;
+    obs::Counter* answer_cache_inserts = nullptr;
+    obs::Counter* answer_cache_bypass = nullptr;
+    obs::Counter* partial_not_cached = nullptr;
+    obs::Counter* journaled_accepts = nullptr;
+    obs::Counter* journaled_completes = nullptr;
+    obs::Counter* journaled_sheds = nullptr;
+    obs::Counter* journal_append_failures = nullptr;
+    obs::Counter* answer_store_hits = nullptr;
+    obs::Counter* answer_store_misses = nullptr;
+    obs::Counter* answer_store_puts = nullptr;
+  };
+
+  /// Registers every metric family and the mirror-gauge collector; runs
+  /// once in the constructor before any thread starts.
+  void RegisterMetrics();
+  /// Refreshes the mirror gauges from subsystem stats (takes mu_ briefly).
+  void CollectMirrors();
   void WorkerLoop();
   void WatchdogLoop();
   void Execute(const std::shared_ptr<Job>& job);
@@ -425,6 +487,18 @@ class WhyNotService {
   const ServiceOptions options_;
   /// Never null: options.clock or the real steady clock.
   const Clock* const clock_;
+  /// Unified metrics registry; declared before every subsystem and thread
+  /// so its handles outlive all increment sites. Mutable: registration and
+  /// collection are internally synchronized, and const accessors (stats())
+  /// read through it.
+  mutable obs::MetricsRegistry registry_;
+  StatCounters stat_;
+  /// End-to-end latency histograms, observed at finalize (µs, default
+  /// bucket ladder). Queue covers submit->dispatch, exec covers the worker,
+  /// total is their sum.
+  obs::Histogram* queue_us_ = nullptr;
+  obs::Histogram* exec_us_ = nullptr;
+  obs::Histogram* total_us_ = nullptr;
   /// Both caches are internally locked; nullptr when disabled by options.
   const std::unique_ptr<SubtreeCache> subtree_cache_;
   const std::unique_ptr<AnswerCache> answer_cache_;
@@ -465,7 +539,8 @@ class WhyNotService {
   /// Summed memory budgets of in-flight requests (watermark accounting).
   size_t admitted_bytes_ = 0;
   uint64_t next_auto_key_ = 0;
-  Stats stats_;
+  /// Last brownout level seen, for the transition counter; guarded by mu_.
+  int last_brownout_level_ = 0;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -1,0 +1,365 @@
+/// \file obs_test.cpp
+/// \brief Battery for the observability layer (src/obs/): registry
+/// semantics, histogram quantile exactness, concurrency (run under TSan in
+/// CI), and byte-exact exposition goldens under tests/golden/metrics_*,
+/// regenerated with `obs_test --update-golden`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/csv.h"
+#include "common/timer.h"
+#include "obs/expose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ned {
+
+/// Set by main() on --update-golden: rewrite tests/golden/metrics_*.golden
+/// instead of comparing against them.
+bool g_update_golden = false;
+
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricSnapshot;
+using obs::MetricsRegistry;
+using obs::MetricType;
+
+// ---- counters and gauges --------------------------------------------------
+
+TEST(Counter, IncrementAccumulates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test_depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(-5);
+  EXPECT_EQ(g->value(), -5);
+}
+
+// ---- identity -------------------------------------------------------------
+
+TEST(Registry, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reqs", {{"event", "ok"}});
+  Counter* b = registry.GetCounter("reqs", {{"event", "ok"}});
+  EXPECT_EQ(a, b);
+  Counter* other = registry.GetCounter("reqs", {{"event", "shed"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(Registry, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("reqs", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("reqs", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Registry, HandlesAreStableAcrossRegistrations) {
+  // unique_ptr-owned metrics: registering many more series must never move
+  // an existing one.
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("stable", {{"i", "first"}});
+  first->Increment(7);
+  for (int i = 0; i < 1000; ++i) {
+    registry.GetCounter("stable", {{"i", std::to_string(i)}})->Increment();
+  }
+  EXPECT_EQ(first, registry.GetCounter("stable", {{"i", "first"}}));
+  EXPECT_EQ(first->value(), 7u);
+}
+
+TEST(RegistryDeathTest, TypeMismatchIsAProgrammingError) {
+  MetricsRegistry registry;
+  registry.GetCounter("mixed");
+  EXPECT_DEATH(registry.GetGauge("mixed"), "mixed");
+}
+
+TEST(RegistryDeathTest, HistogramBoundsMismatchIsAProgrammingError) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat", {{"k", "a"}}, {1, 2, 3});
+  EXPECT_DEATH(registry.GetHistogram("lat", {{"k", "b"}}, {1, 2, 4}), "lat");
+}
+
+// ---- histograms -----------------------------------------------------------
+
+TEST(Histogram, ValueEqualToBoundaryLandsInThatBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("le", {}, {10, 20, 30});
+  h->Observe(10);  // le=10 bucket, not le=20
+  h->Observe(11);  // le=20
+  h->Observe(30);  // le=30
+  h->Observe(31);  // +Inf overflow
+  HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 10 + 11 + 30 + 31);
+}
+
+TEST(Histogram, QuantileIsExactFromBucketCounts) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("q", {}, {100, 250, 500, 1000});
+  // 98 observations <= 100, one in (250, 500], one in (500, 1000]:
+  for (int i = 0; i < 98; ++i) h->Observe(50);
+  h->Observe(300);
+  h->Observe(700);
+  // p50: rank = ceil(0.5 * 100) = 50 -> cumulative reaches 50 in bucket 100.
+  EXPECT_EQ(h->Quantile(0.5), 100);
+  // p99: rank = 99 -> 98 in the first bucket, 99th lands in le=500.
+  EXPECT_EQ(h->Quantile(0.99), 500);
+  // p100: rank = 100 -> le=1000.
+  EXPECT_EQ(h->Quantile(1.0), 1000);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("qe", {}, {10});
+  // Empty histogram proves no bound: 0 by convention.
+  EXPECT_EQ(h->Quantile(0.5), 0);
+  // A single observation answers every quantile (rank clamps to >= 1).
+  h->Observe(3);
+  EXPECT_EQ(h->Quantile(0.0), 10);
+  EXPECT_EQ(h->Quantile(1.0), 10);
+  // Overflow-bucket observations have no finite upper bound.
+  h->Observe(11);
+  EXPECT_EQ(h->Quantile(1.0), std::numeric_limits<int64_t>::max());
+}
+
+TEST(Histogram, DefaultLatencyLadderIsAscending) {
+  const std::vector<int64_t>& bounds = obs::DefaultLatencyBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(bounds.front(), 100);        // 100us floor
+  EXPECT_EQ(bounds.back(), 10'000'000);  // 10s ceiling
+}
+
+// ---- concurrency (meaningful under TSan) ----------------------------------
+
+TEST(Concurrency, EightThreadHammerYieldsExactTotals) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  Counter* counter = registry.GetCounter("hammer_total");
+  Histogram* histogram = registry.GetHistogram("hammer_us", {}, {10, 100});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(t % 3 == 0 ? 5 : 50);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  // 3 of 8 threads (t = 0, 3, 6) observed the small value.
+  EXPECT_EQ(snap.counts[0], static_cast<uint64_t>(3) * kPerThread);
+  EXPECT_EQ(snap.counts[1], static_cast<uint64_t>(5) * kPerThread);
+  EXPECT_EQ(snap.counts[2], 0u);
+}
+
+TEST(Concurrency, ConcurrentRegistrationIsSafeAndConverges) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        registry.GetCounter("conc", {{"i", std::to_string(i % 10)}})
+            ->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t total = 0;
+  for (const MetricSnapshot& m : registry.Collect()) {
+    if (m.name == "conc") total += m.counter_value;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 200);
+}
+
+TEST(Concurrency, SnapshotsAreConsistentUnderConcurrentWrites) {
+  // A histogram snapshot taken mid-hammer must still satisfy its own
+  // invariant (count == sum of bucket counts -- it is derived) and only ever
+  // move forward between collections.
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("live_us", {}, {10, 100});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) histogram->Observe(5);
+  });
+  uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    HistogramSnapshot snap = histogram->Snapshot();
+    uint64_t bucket_total = 0;
+    for (uint64_t c : snap.counts) bucket_total += c;
+    ASSERT_EQ(snap.count, bucket_total);
+    ASSERT_GE(snap.count, last_count);
+    last_count = snap.count;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(Concurrency, CollectRacesWritersWithoutTearing) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("race_total");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) counter->Increment();
+  });
+  for (int i = 0; i < 100; ++i) {
+    std::vector<MetricSnapshot> snapshot = registry.Collect();
+    ASSERT_EQ(snapshot.size(), 1u);
+    EXPECT_EQ(snapshot[0].name, "race_total");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+// ---- collection -----------------------------------------------------------
+
+TEST(Collect, SortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("b_total", {{"x", "2"}});
+  registry.GetCounter("b_total", {{"x", "1"}});
+  registry.GetGauge("a_depth");
+  std::vector<MetricSnapshot> snapshot = registry.Collect();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a_depth");
+  EXPECT_EQ(snapshot[1].labels, obs::LabelSet({{"x", "1"}}));
+  EXPECT_EQ(snapshot[2].labels, obs::LabelSet({{"x", "2"}}));
+}
+
+TEST(Collect, CollectorCallbackRefreshesMirrors) {
+  MetricsRegistry registry;
+  int external_state = 7;
+  registry.RegisterCollector([&] {
+    registry.GetGauge("mirror")->Set(external_state);
+  });
+  EXPECT_EQ(registry.Collect()[0].gauge_value, 7);
+  external_state = 9;
+  EXPECT_EQ(registry.Collect()[0].gauge_value, 9);
+}
+
+// ---- exposition -----------------------------------------------------------
+
+/// A small registry covering every exposition feature: plain counter,
+/// labeled counter series, negative gauge, label-value escaping, an empty
+/// and a populated histogram (the populated one with overflow, so JSON p99
+/// renders null). Values are fixed -- the goldens pin the exact bytes.
+std::vector<MetricSnapshot> ExpositionFixture() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->GetCounter("ned_requests_total", {{"event", "accepted"}})
+        ->Increment(12);
+    r->GetCounter("ned_requests_total", {{"event", "shed"}})->Increment(3);
+    r->GetGauge("ned_queue_depth")->Set(-2);
+    r->GetCounter("ned_escaped_total",
+                  {{"path", "a\\b \"quoted\"\nnext"}})
+        ->Increment();
+    r->GetHistogram("ned_empty_us", {}, {100, 1000});
+    Histogram* h = r->GetHistogram("ned_latency_us", {}, {100, 1000, 10000});
+    for (int i = 0; i < 4; ++i) h->Observe(50);
+    h->Observe(100);    // boundary: le=100
+    h->Observe(700);    // le=1000
+    h->Observe(20000);  // +Inf -> p99 has no finite bound -> JSON null
+    return r;
+  }();
+  return registry->Collect();
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(NED_TEST_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void CompareOrUpdateGolden(const std::string& name,
+                           const std::string& rendered) {
+  const std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    ASSERT_TRUE(AtomicWriteFile(path, rendered).ok()) << path;
+    return;
+  }
+  auto golden = ReadFile(path);
+  ASSERT_TRUE(golden.ok()) << "missing golden file " << path
+                           << "; generate with: obs_test --update-golden";
+  EXPECT_EQ(*golden, rendered)
+      << name << " drifted from " << path
+      << "\n(if the change is intentional, rerun with --update-golden "
+         "and review the file diff)";
+}
+
+TEST(Exposition, PrometheusMatchesGolden) {
+  CompareOrUpdateGolden("metrics_prometheus",
+                        obs::FormatPrometheus(ExpositionFixture()));
+}
+
+TEST(Exposition, JsonMatchesGolden) {
+  CompareOrUpdateGolden("metrics_json", obs::FormatJson(ExpositionFixture()));
+}
+
+TEST(Exposition, PrometheusHistogramIsCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h_us", {}, {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  const std::string text = obs::FormatPrometheus(registry.Collect());
+  EXPECT_NE(text.find("# TYPE h_us histogram"), std::string::npos) << text;
+  EXPECT_NE(text.find("h_us_bucket{le=\"10\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("h_us_bucket{le=\"100\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("h_us_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("h_us_sum 555"), std::string::npos) << text;
+  EXPECT_NE(text.find("h_us_count 3"), std::string::npos) << text;
+}
+
+TEST(Exposition, RenderingIsDeterministic) {
+  const std::string a = obs::FormatPrometheus(ExpositionFixture());
+  const std::string b = obs::FormatPrometheus(ExpositionFixture());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(obs::FormatJson(ExpositionFixture()),
+            obs::FormatJson(ExpositionFixture()));
+}
+
+}  // namespace
+}  // namespace ned
+
+// Custom main (instead of gtest_main) so `--update-golden` can rewrite the
+// exposition snapshots under tests/golden/ in place.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") ned::g_update_golden = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -62,9 +62,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "datasets/use_cases.h"
+#include "obs/expose.h"
 #include "relational/catalog.h"
 #include "service/retry.h"
 #include "service/service.h"
@@ -133,6 +135,10 @@ struct Args {
   /// kill-and-recover harness (ned_crashtest) uses this to crash a real
   /// serving process at an uncontrolled point and then prove recovery.
   int64_t crash_after_ms = 0;
+  /// When non-empty, the service's metrics registry is dumped here
+  /// (Prometheus text exposition) after the run -- a chaos run's worth of
+  /// live series for eyeballing or scraping offline.
+  std::string metrics_out;
 };
 
 /// One drivable scenario: a database name in the catalog + SQL + question.
@@ -204,6 +210,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->persist_dir = argv[++i];
     } else if (arg == "--crash-after-ms" && next(&v)) {
       args->crash_after_ms = v;
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) return false;
+      args->metrics_out = argv[++i];
     } else if (arg == "--smoke") {
       args->smoke = true;
       args->clients = 4;
@@ -216,7 +225,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                    "[--workers W] [--queue Q] [--threads-per-request T] "
                    "[--inject all|none|engine|service] [--seed S] "
                    "[--scale K] [--persist DIR] [--crash-after-ms N] "
-                   "[--smoke]\n";
+                   "[--metrics-out FILE] [--smoke]\n";
       return false;
     }
   }
@@ -630,6 +639,18 @@ int Run(const Args& args) {
               << " cancelled=" << drain.cancelled << "\n";
   } else {
     service.Shutdown(/*drain=*/true);
+  }
+
+  if (!args.metrics_out.empty()) {
+    const std::string text =
+        ned::obs::FormatPrometheus(service.metrics()->Collect());
+    const ned::Status write = ned::AtomicWriteFile(args.metrics_out, text);
+    if (!write.ok()) {
+      std::cerr << "metrics dump failed: " << write.ToString() << "\n";
+    } else {
+      std::cout << "metrics           : wrote " << args.metrics_out << " ("
+                << text.size() << " bytes)\n";
+    }
   }
 
   // ---- merge + check invariants --------------------------------------------
