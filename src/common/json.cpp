@@ -1,0 +1,448 @@
+#include "common/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace ned::json {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string Quote(std::string_view s) {
+  std::string out = "\"";
+  AppendEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::Double(double d) {
+  Value v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::Object(std::vector<std::pair<std::string, Value>> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser. Position-tracking so errors carry an offset;
+/// every consume is bounds-checked and bad input can only produce a
+/// ParseError, never UB -- the HTTP frontend feeds this bytes straight off
+/// the socket.
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<Value> ParseDocument() {
+    SkipWhitespace();
+    Value v;
+    NED_RETURN_NOT_OK(ParseValue(0, &v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrCat("JSON: ", what, " at offset ", pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* c) const {
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.size() - pos_ < lit.size()) return false;
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(int depth, Value* out) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    SkipWhitespace();
+    char c;
+    if (!Peek(&c)) return Error("unexpected end of input");
+    switch (c) {
+      case '{':
+        return ParseObject(depth, out);
+      case '[':
+        return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        NED_RETURN_NOT_OK(ParseString(&s));
+        *out = Value::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = Value::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = Value::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = Value::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(int depth, Value* out) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWhitespace();
+    char c;
+    if (!Peek(&c)) return Error("unterminated object");
+    if (c == '}') {
+      ++pos_;
+      *out = Value::Object(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (!Peek(&c) || c != '"') return Error("expected object key");
+      std::string key;
+      NED_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Peek(&c) || c != ':') return Error("expected ':' after key");
+      ++pos_;
+      Value v;
+      NED_RETURN_NOT_OK(ParseValue(depth + 1, &v));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (!Peek(&c)) return Error("unterminated object");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        *out = Value::Object(std::move(members));
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(int depth, Value* out) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    SkipWhitespace();
+    char c;
+    if (!Peek(&c)) return Error("unterminated array");
+    if (c == ']') {
+      ++pos_;
+      *out = Value::Array(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      Value v;
+      NED_RETURN_NOT_OK(ParseValue(depth + 1, &v));
+      items.push_back(std::move(v));
+      SkipWhitespace();
+      if (!Peek(&c)) return Error("unterminated array");
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        *out = Value::Array(std::move(items));
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        *out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      // Escape sequence.
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          NED_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a following \uDC00..\uDFFF pair.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            NED_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (text_.size() - pos_ < 4) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t int_start = pos_;
+    bool saw_digit = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      saw_digit = true;
+    }
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Error("leading zero in number");
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      bool frac_digit = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        frac_digit = true;
+      }
+      if (!frac_digit) return Error("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exp_digit = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        exp_digit = true;
+      }
+      if (!exp_digit) return Error("digits required in exponent");
+    }
+    if (!saw_digit) return Error("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size()) {
+        *out = Value::Int(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      // Integral but out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    if (errno == ERANGE && !std::isfinite(d)) {
+      return Error("number out of range");
+    }
+    *out = Value::Double(d);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  const int max_depth_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).ParseDocument();
+}
+
+}  // namespace ned::json

@@ -1,0 +1,104 @@
+/// \file json.h
+/// \brief Minimal JSON writing + parsing shared by exposition and the wire
+/// protocol.
+///
+/// One escaping implementation for the whole codebase: obs/expose.cpp
+/// (metrics JSON), src/net/wire.cpp (the HTTP frontend's request/response
+/// codec) and every tool that renders JSON route through AppendEscaped, so
+/// an escaping bug can only exist -- and be fixed -- in one place.
+///
+/// The reader side is a small bounds-checked recursive-descent parser into
+/// a DOM (json::Value). It is built for hostile input: the HTTP frontend
+/// feeds it request bodies straight off the socket, so every path returns
+/// Status instead of crashing, recursion is depth-limited, and trailing
+/// garbage after the top-level value is rejected. Number handling preserves
+/// the int/double distinction: integral literals that fit an int64 parse as
+/// kInt, everything else as kDouble -- mirroring ned::Value's type split so
+/// wire round-trips keep value types exact.
+
+#ifndef NED_COMMON_JSON_H_
+#define NED_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ned::json {
+
+/// Appends `s` to `out` with JSON string escaping (backslash, double quote,
+/// \n \t \r, remaining control characters as \u00XX). No surrounding
+/// quotes. The single escaping implementation -- do not fork it.
+void AppendEscaped(std::string* out, std::string_view s);
+
+/// `s` escaped and wrapped in double quotes.
+std::string Quote(std::string_view s);
+
+/// Appends a double with enough digits to round-trip (%.17g), rendering
+/// non-finite values as null (JSON has no NaN/Inf).
+void AppendDouble(std::string* out, double v);
+
+/// A parsed JSON value. Objects preserve member order (deterministic
+/// re-rendering) and expose map-style lookup.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  /// kInt or kDouble.
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const { return int_; }
+  /// Numeric view with int -> double widening.
+  double as_double() const { return is_int() ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Value>& as_array() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& as_object() const {
+    return object_;
+  }
+
+  /// Object member by key, or nullptr (also nullptr when not an object).
+  const Value* Find(std::string_view key) const;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value Str(std::string s);
+  static Value Array(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parses one JSON document. Rejects trailing non-whitespace, unterminated
+/// constructs, bad escapes, numbers outside double range and nesting deeper
+/// than `max_depth`. Never crashes on any byte sequence (net_test fuzzes
+/// this with bit-flipped HTTP bodies).
+Result<Value> Parse(std::string_view text, int max_depth = 64);
+
+}  // namespace ned::json
+
+#endif  // NED_COMMON_JSON_H_

@@ -1,0 +1,35 @@
+#include "common/signal_drain.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace ned {
+
+namespace {
+
+std::atomic<bool> g_drain_requested{false};
+
+extern "C" void HandleDrainSignal(int /*signo*/) {
+  g_drain_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallDrainSignalHandlers() {
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+}
+
+bool DrainRequested() {
+  return g_drain_requested.load(std::memory_order_relaxed);
+}
+
+void ResetDrainRequest() {
+  g_drain_requested.store(false, std::memory_order_relaxed);
+}
+
+void RequestDrain() {
+  g_drain_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace ned

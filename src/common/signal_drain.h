@@ -1,0 +1,39 @@
+/// \file signal_drain.h
+/// \brief Shared SIGTERM/SIGINT -> graceful-drain wiring for serving tools.
+///
+/// Every long-running binary in this repo (ned_serve, ned_stress,
+/// ned_crashtest) follows the same operator contract: SIGTERM or SIGINT
+/// does not kill the process, it requests a graceful stop -- finish what is
+/// running, journal what is queued as recoverable, exit with books
+/// balanced. This header is the one copy of the handler wiring those tools
+/// used to triplicate: an async-signal-safe flag setter installed for both
+/// signals, and a relaxed-atomic poll the serving loops check.
+///
+/// Deliberately not part of WhyNotService itself: signal disposition is
+/// process-global state that belongs to main(), and tests must be able to
+/// run many services in one process without touching handlers.
+
+#ifndef NED_COMMON_SIGNAL_DRAIN_H_
+#define NED_COMMON_SIGNAL_DRAIN_H_
+
+namespace ned {
+
+/// Installs the SIGTERM/SIGINT handler that flips the drain flag. The
+/// handler only stores a relaxed atomic (async-signal-safe); everything
+/// else happens on the polling side. Call once from main() before serving.
+void InstallDrainSignalHandlers();
+
+/// True once any drain signal arrived. Poll from serving/submission loops.
+bool DrainRequested();
+
+/// Resets the flag (harness restarts between crash cycles).
+void ResetDrainRequest();
+
+/// Programmatic drain request (same flag the signals set) -- lets a test or
+/// a watchdog thread trigger the graceful-stop path without raising a real
+/// signal.
+void RequestDrain();
+
+}  // namespace ned
+
+#endif  // NED_COMMON_SIGNAL_DRAIN_H_

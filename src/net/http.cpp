@@ -1,0 +1,360 @@
+#include "net/http.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ned::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// RFC 7230 token characters (method + header names).
+bool IsTokenChar(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool HttpRequest::HasHeader(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string connection = ToLower(Header("connection"));
+  if (version == "HTTP/1.1") return connection != "close";
+  return connection == "keep-alive";
+}
+
+void HttpParser::Fail(int status, std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+}
+
+size_t HttpParser::Feed(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size() && !done()) {
+    started_ = true;
+    if (state_ == State::kBody) {
+      const size_t want = content_length_ - request_.body.size();
+      const size_t take = std::min(want, data.size() - consumed);
+      request_.body.append(data.data() + consumed, take);
+      consumed += take;
+      if (request_.body.size() == content_length_) state_ = State::kComplete;
+      continue;
+    }
+    // Line-oriented states: accumulate until LF. The line buffer is bounded
+    // by the header-section limit, so a CRLF-less flood cannot grow memory.
+    const char c = data[consumed++];
+    ++header_bytes_;
+    if (header_bytes_ > limits_.max_header_bytes) {
+      Fail(413, "header section too large");
+      break;
+    }
+    if (c != '\n') {
+      line_ += c;
+      if (state_ == State::kRequestLine &&
+          line_.size() > limits_.max_request_line_bytes) {
+        Fail(413, "request line too long");
+        break;
+      }
+      continue;
+    }
+    // One full line (strip the optional CR of CRLF).
+    std::string_view line = line_;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    bool ok = true;
+    if (state_ == State::kRequestLine) {
+      if (line.empty()) {
+        // Tolerate leading blank lines before the request line (RFC 7230
+        // robustness note); they still count against the header budget.
+        line_.clear();
+        continue;
+      }
+      ok = FinishRequestLine(line);
+    } else {
+      ok = FinishHeaderLine(line);
+    }
+    line_.clear();
+    if (!ok) break;
+  }
+  return consumed;
+}
+
+bool HttpParser::FinishRequestLine(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (!IsToken(request_.method)) {
+    Fail(400, "invalid method token");
+    return false;
+  }
+  if (request_.target.empty() || request_.target[0] != '/') {
+    Fail(400, "target must be origin-form");
+    return false;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    Fail(400, "unsupported HTTP version");
+    return false;
+  }
+  state_ = State::kHeaders;
+  return true;
+}
+
+bool HttpParser::FinishHeaderLine(std::string_view line) {
+  if (line.empty()) {
+    FinishHeaders();
+    return state_ != State::kError;
+  }
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Obsolete line folding: a smuggling vector; reject outright.
+    Fail(400, "folded header line");
+    return false;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    Fail(400, "header line without ':'");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    // Includes the "name ends in whitespace" smuggling case: space/tab are
+    // not token characters.
+    Fail(400, "invalid header name");
+    return false;
+  }
+  request_.headers.emplace_back(ToLower(name),
+                                std::string(Trim(line.substr(colon + 1))));
+  return true;
+}
+
+void HttpParser::FinishHeaders() {
+  // Content-Length: absent means no body; present must be one unambiguous
+  // decimal value. Duplicates (even equal -- keep it strict and simple),
+  // signs, or non-digits are malformed.
+  std::string_view length;
+  for (const auto& [k, v] : request_.headers) {
+    if (k == "content-length") {
+      if (!length.empty()) {
+        Fail(400, "multiple Content-Length headers");
+        return;
+      }
+      length = v;
+      if (length.empty()) {
+        Fail(400, "empty Content-Length");
+        return;
+      }
+    }
+  }
+  if (request_.HasHeader("transfer-encoding")) {
+    // Not implemented; accepting it alongside Content-Length is the classic
+    // smuggling split, so refuse rather than ignore.
+    Fail(400, "Transfer-Encoding not supported");
+    return;
+  }
+  uint64_t n = 0;
+  for (char c : length) {
+    if (c < '0' || c > '9') {
+      Fail(400, "malformed Content-Length");
+      return;
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+    if (n > limits_.max_body_bytes) {
+      Fail(413, "body too large");
+      return;
+    }
+  }
+  content_length_ = static_cast<size_t>(n);
+  state_ = content_length_ == 0 ? State::kComplete : State::kBody;
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  error_status_ = 0;
+  error_detail_.clear();
+  request_ = HttpRequest{};
+  line_.clear();
+  header_bytes_ = 0;
+  content_length_ = 0;
+  started_ = false;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    bool keep_alive) {
+  std::string out = StrCat("HTTP/1.1 ", status, " ");
+  out += HttpReasonPhrase(status);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += StrCat("Content-Length: ", body.size(), "\r\n");
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string_view HttpResponse::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+Result<size_t> ParseHttpResponse(std::string_view data, HttpResponse* out) {
+  const size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return size_t{0};
+  std::string_view head = data.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    return Status::ParseError("malformed response status line");
+  }
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > status_line.size()) {
+    return Status::ParseError("malformed response status line");
+  }
+  int status = 0;
+  for (size_t i = sp + 1; i < sp + 4; ++i) {
+    const char c = status_line[i];
+    if (c < '0' || c > '9') {
+      return Status::ParseError("malformed response status code");
+    }
+    status = status * 10 + (c - '0');
+  }
+  HttpResponse parsed;
+  parsed.status = status;
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  size_t content_length = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed response header line");
+    }
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Status::ParseError("malformed response Content-Length");
+        }
+        content_length = content_length * 10 + static_cast<size_t>(c - '0');
+      }
+    }
+    parsed.headers.emplace_back(std::move(name), std::move(value));
+  }
+  const size_t total = head_end + 4 + content_length;
+  if (data.size() < total) return size_t{0};
+  parsed.body = std::string(data.substr(head_end + 4, content_length));
+  *out = std::move(parsed);
+  return total;
+}
+
+}  // namespace ned::net

@@ -1,0 +1,138 @@
+/// \file http.h
+/// \brief Incremental HTTP/1.1 request parser + response rendering.
+///
+/// The parser is the trust boundary of the serving edge: it consumes bytes
+/// exactly as they arrive off a non-blocking socket (any split, any pace)
+/// and can only ever end in one of three states -- a complete request, a
+/// diagnosable client error (400 malformed / 413 oversized), or "need more
+/// bytes". It never throws, never crashes, and never reads past the buffer:
+/// net_test replays every request split at every byte boundary and under
+/// seeded bit-flips to pin exactly that.
+///
+/// Scope: request line + headers + Content-Length bodies -- what the JSON
+/// wire protocol needs. Transfer-Encoding, multi-line header folding and
+/// multiple Content-Length values are rejected as 400 rather than guessed
+/// at (request smuggling hygiene).
+
+#ifndef NED_NET_HTTP_H_
+#define NED_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ned::net {
+
+/// One parsed request. Header names are lower-cased at parse time
+/// (HTTP headers are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (verbatim, case-sensitive)
+  std::string target;   ///< "/v1/whynot"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Value of `name` (lower-case), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+  bool HasHeader(std::string_view name) const;
+  /// Keep-alive resolution: HTTP/1.1 defaults to keep-alive unless
+  /// "Connection: close"; HTTP/1.0 requires "Connection: keep-alive".
+  bool KeepAlive() const;
+};
+
+/// Parser size limits. Oversized input is a 413, never a buffer growth.
+struct HttpLimits {
+  size_t max_request_line_bytes = 8 * 1024;
+  /// Whole header section (request line included).
+  size_t max_header_bytes = 32 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// Incremental parser: feed bytes as they arrive, observe state.
+class HttpParser {
+ public:
+  enum class State {
+    kRequestLine,  ///< reading the request line
+    kHeaders,      ///< reading header lines
+    kBody,         ///< reading a Content-Length body
+    kComplete,     ///< request() is valid; stops consuming (pipelining)
+    kError,        ///< error_status() is 400 or 413; stops consuming
+  };
+
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes from `data` until complete, error, or bytes run out; returns
+  /// how many bytes were consumed. Once kComplete, unconsumed bytes belong
+  /// to the *next* request (keep-alive pipelining) -- call Reset() after
+  /// handling and feed them again.
+  size_t Feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool done() const {
+    return state_ == State::kComplete || state_ == State::kError;
+  }
+  /// HTTP status for kError: 400 (malformed) or 413 (too large).
+  int error_status() const { return error_status_; }
+  /// Human-readable error detail (for logs; never echoed raw to clients).
+  const std::string& error_detail() const { return error_detail_; }
+  const HttpRequest& request() const { return request_; }
+  /// True once any byte of the current request has been consumed -- the
+  /// slowloris timeout only arms on connections with a request in progress.
+  bool started() const { return started_; }
+
+  /// Ready for the next request on the same connection.
+  void Reset();
+
+ private:
+  void Fail(int status, std::string detail);
+  bool FinishRequestLine(std::string_view line);
+  bool FinishHeaderLine(std::string_view line);
+  /// Validates the header section once blank-line terminated: resolves
+  /// Content-Length, rejects smuggling vectors.
+  void FinishHeaders();
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  int error_status_ = 0;
+  std::string error_detail_;
+  HttpRequest request_;
+  std::string line_;           ///< current partial line
+  size_t header_bytes_ = 0;    ///< header-section bytes consumed so far
+  size_t content_length_ = 0;  ///< resolved by FinishHeaders
+  bool started_ = false;
+};
+
+/// Renders a response head + body. `status` drives the reason phrase;
+/// `extra_headers` are emitted verbatim (name, value) pairs.
+std::string RenderHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {},
+    bool keep_alive = true);
+
+/// Reason phrase for the handful of statuses this server emits.
+std::string_view HttpReasonPhrase(int status);
+
+/// Client-side view of one parsed response (ned_loadgen, net_test,
+/// bench_net -- everything that talks to the server over a real socket).
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
+  std::string body;
+
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Tries to parse one complete response from the front of `data`
+/// (status line + headers + Content-Length body). Returns the bytes
+/// consumed, or 0 when more bytes are needed (read again and retry);
+/// malformed input is a Status error. Keep-alive clients call this in a
+/// read loop and erase the consumed prefix.
+Result<size_t> ParseHttpResponse(std::string_view data, HttpResponse* out);
+
+}  // namespace ned::net
+
+#endif  // NED_NET_HTTP_H_

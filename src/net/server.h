@@ -1,0 +1,116 @@
+/// \file server.h
+/// \brief Poll-driven HTTP/1.1 frontend over WhyNotService (docs/NETWORK.md).
+///
+/// One acceptor + one event-loop thread drive every connection through
+/// non-blocking sockets: reads feed the incremental HttpParser, writes
+/// drain bounded per-connection buffers, and /v1/whynot completions arrive
+/// asynchronously from the service's worker pool via the completion
+/// callback (service.h) -- a worker only copies the response into the
+/// loop's completion queue and writes one wake byte, so no worker thread
+/// ever blocks on a slow client. Slow clients are bounded twice over: a
+/// write buffer past its cap closes the connection, and header-read /
+/// keep-alive-idle timeouts (driven by the injectable Clock, so net_test
+/// evicts slowloris connections with a ManualClock) evict stalled ones.
+///
+/// Endpoints:
+///   POST /v1/whynot  -- JSON wire protocol (net/wire.h); async completion
+///   GET  /metrics    -- Prometheus exposition of the service registry
+///   GET  /healthz    -- liveness (200 while the loop runs)
+///   GET  /readyz     -- readiness; flips 503 once BeginDrain() is called
+///
+/// Status mapping: OK -> 200; kUnavailable -> 503 with both `Retry-After`
+/// (whole seconds, ceiled) and `Retry-After-Ms` (exact) from the service's
+/// suggested backoff; kDeadlineExceeded -> 504; kNotFound -> 404; request
+/// errors -> 400; anything else -> 500.
+
+#ifndef NED_NET_SERVER_H_
+#define NED_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "net/http.h"
+#include "service/service.h"
+
+namespace ned::net {
+
+/// Sizing and policy knobs for one server instance.
+struct ServerOptions {
+  /// Listen address. Loopback by default: the frontend is an edge for
+  /// trusted networks, binding wider is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the bound port back via port()).
+  int port = 0;
+  int backlog = 128;
+  /// Open-connection cap; accepts beyond it are closed immediately.
+  size_t max_connections = 256;
+  /// Parser limits (request line / header section / body).
+  HttpLimits limits;
+  /// Keep-alive connections idle (no request in progress) longer than this
+  /// are evicted silently.
+  int64_t idle_timeout_ms = 30'000;
+  /// Slowloris bound: a request whose first byte arrived but which has not
+  /// completed within this window gets a 408 and the connection closes.
+  int64_t header_timeout_ms = 5'000;
+  /// Per-connection pending-write cap; exceeding it (a slow or stalled
+  /// reader) closes the connection rather than growing the buffer.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// Event-loop tick in *real* milliseconds: the upper bound on how stale a
+  /// Clock-driven timeout decision can be. Timeout *positions* come from
+  /// `clock`, so ManualClock tests get exact eviction thresholds.
+  int poll_interval_ms = 10;
+  /// Time source for the timeouts above; nullptr = real steady clock.
+  const Clock* clock = nullptr;
+};
+
+/// The HTTP frontend. Start() binds and spawns the loop thread; Stop()
+/// closes everything and joins. Thread-safe: BeginDrain/SetReady/port may
+/// be called from any thread.
+class HttpServer {
+ public:
+  HttpServer(WhyNotService* service, ServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the event loop. Fails (kUnavailable) when
+  /// the address cannot be bound.
+  Status Start();
+
+  /// Closes the listener and every connection, then joins the loop thread.
+  /// Responses still in flight inside the service resolve against the
+  /// (detached) completion queue and are dropped -- call BeginDrain and
+  /// wait for quiesce first for a graceful stop. Idempotent.
+  void Stop();
+
+  /// Drain step 1 (see docs/NETWORK.md): /readyz flips to 503 and new
+  /// connections are refused (accepted, then closed). Established
+  /// connections keep being served so in-flight requests complete.
+  void BeginDrain();
+
+  /// Readiness toggle backing /readyz (BeginDrain() implies false).
+  void SetReady(bool ready);
+  bool ready() const { return ready_.load(std::memory_order_relaxed); }
+
+  /// Bound port (valid after Start(); the ephemeral-port reader for tests).
+  int port() const { return port_; }
+
+  /// Open connections right now (loop-thread maintained gauge mirror).
+  size_t open_connections() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<bool> ready_{true};
+  int port_ = 0;
+};
+
+}  // namespace ned::net
+
+#endif  // NED_NET_SERVER_H_

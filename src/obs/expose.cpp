@@ -1,7 +1,8 @@
 #include "obs/expose.h"
 
-#include <cstdio>
 #include <limits>
+
+#include "common/json.h"
 
 namespace ned::obs {
 
@@ -66,39 +67,9 @@ std::string PromLabels(const LabelSet& labels, const std::string& extra_key,
   return out;
 }
 
-// JSON string escaping (control chars, quote, backslash).
-std::string JsonString(const std::string& value) {
-  std::string out = "\"";
-  for (char c : value) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case '"':
-        out += "\\\"";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// JSON string escaping lives in common/json.h (shared with the HTTP wire
+// codec -- one escaping implementation, exactly one place to fix it).
+std::string JsonString(const std::string& value) { return json::Quote(value); }
 
 std::string QuantileJson(const HistogramSnapshot& histogram, double q) {
   int64_t v = histogram.QuantileUpperBound(q);

@@ -122,6 +122,12 @@ struct WhyNotService::Job {
   bool watchdog_fired = false;   // guarded by mu_
   std::promise<WhyNotResponse> promise;
   std::shared_future<WhyNotResponse> future;
+  /// Push-style completion observers (see WhyNotService::CompletionCallback).
+  /// Appended under mu_ (by the admitting Submit and by deduping Submits
+  /// that coalesce onto this job); moved out under the same mu_ hold in
+  /// which Finalize retires the job from inflight_, so no append can race
+  /// the move. Invoked after the promise resolves.
+  std::vector<WhyNotService::CompletionCallback> callbacks;
 };
 
 WhyNotService::WhyNotService(std::shared_ptr<Catalog> catalog,
@@ -377,6 +383,24 @@ void WhyNotService::UpdateBrownoutLocked() {
 }
 
 WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
+  CompletionCallback none;
+  return SubmitImpl(std::move(request), &none);
+}
+
+WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request,
+                                                CompletionCallback on_complete) {
+  Submission sub = SubmitImpl(std::move(request), &on_complete);
+  // SubmitImpl nulled the callback iff it attached it to a job (the job's
+  // Finalize will fire it). A callback still here on an OK submission means
+  // the request resolved synchronously -- cache/store/idempotency hit -- so
+  // the future is already ready and the exactly-once contract is honored by
+  // delivering inline, outside every service lock.
+  if (on_complete && sub.status.ok()) on_complete(sub.response.get());
+  return sub;
+}
+
+WhyNotService::Submission WhyNotService::SubmitImpl(
+    WhyNotRequest request, CompletionCallback* on_complete) {
   Submission sub;
   // Per-request trace: the admission span covers everything Submit does.
   // Sync outcomes (sheds, dedupes, cache hits) deliver it on the
@@ -419,6 +443,13 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   }
   if (auto it = inflight_.find(request.key); it != inflight_.end()) {
     stat_.deduped_inflight->Increment();
+    if (*on_complete) {
+      // Coalesce the observer onto the pending execution: its Finalize
+      // fires every registered callback (we hold mu_, so the job cannot
+      // retire between the find above and this append).
+      it->second->callbacks.push_back(std::move(*on_complete));
+      *on_complete = nullptr;
+    }
     sub.status = Status::OK();
     sub.deduped = true;
     sub.response = it->second->future;
@@ -556,6 +587,10 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
     }
     if (auto it = inflight_.find(request.key); it != inflight_.end()) {
       stat_.deduped_inflight->Increment();
+      if (*on_complete) {
+        it->second->callbacks.push_back(std::move(*on_complete));
+        *on_complete = nullptr;
+      }
       sub.status = Status::OK();
       sub.deduped = true;
       sub.response = it->second->future;
@@ -708,6 +743,10 @@ WhyNotService::Submission WhyNotService::Submit(WhyNotRequest request) {
   inflight_.emplace(job->request.key, job);
   admitted_bytes_ += mem;
   stat_.accepted->Increment();
+  if (*on_complete) {
+    job->callbacks.push_back(std::move(*on_complete));
+    *on_complete = nullptr;
+  }
   if (trace != nullptr) {
     // Admission ends here; the queue_wait span stays open until a worker
     // dispatches the job (or Finalize closes it for jobs that never reach
@@ -936,8 +975,13 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
   }
   const int32_t finalize_span =
       trace != nullptr ? trace->OpenSpan("finalize") : -1;
+  std::vector<CompletionCallback> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Taken under the same hold that retires the key: once inflight_ no
+    // longer knows this job, no deduping Submit can append another
+    // observer, so this move captures every callback exactly once.
+    callbacks = std::move(job->callbacks);
     inflight_.erase(job->request.key);
     admitted_bytes_ -= job->memory_charge;
     // The fair-share occupancy slot taken at TryAdmit frees here, whatever
@@ -1010,7 +1054,15 @@ void WhyNotService::Finalize(const std::shared_ptr<Job>& job,
     trace->CloseSpan(finalize_span);
     response.trace = job->trace;
   }
-  job->promise.set_value(std::move(response));
+  if (callbacks.empty()) {
+    job->promise.set_value(std::move(response));
+  } else {
+    // Resolve the future first so callbacks observe a ready future (they
+    // receive the same value by reference); the copy is only paid when an
+    // observer is actually registered.
+    job->promise.set_value(response);
+    for (CompletionCallback& callback : callbacks) callback(response);
+  }
 }
 
 void WhyNotService::WatchdogLoop() {

@@ -63,6 +63,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -351,8 +352,28 @@ class WhyNotService {
   WhyNotService(const WhyNotService&) = delete;
   WhyNotService& operator=(const WhyNotService&) = delete;
 
+  /// Invoked exactly once with the resolved response of an accepted
+  /// submission -- see Submit below. Runs on whichever thread resolves the
+  /// request: a worker (normal completion), the watchdog path, Drain, or
+  /// the submitting thread itself (idempotency/cache/store hits resolved
+  /// synchronously). The future is already ready when it runs. Keep it
+  /// cheap and non-blocking: it executes inside the service's completion
+  /// path, so a slow callback stalls a worker -- the HTTP frontend only
+  /// copies the response into its event-loop queue and wakes the loop
+  /// (src/net/server.cpp), which is the intended usage shape.
+  using CompletionCallback = std::function<void(const WhyNotResponse&)>;
+
   /// Admission control; never blocks on a full queue (sheds instead).
   Submission Submit(WhyNotRequest request);
+
+  /// Submit with push-style completion: iff the returned Submission has an
+  /// OK status, `on_complete` fires exactly once with the final
+  /// WhyNotResponse (equal to what `response.get()` yields). Non-OK
+  /// submissions (sheds, breaker fast-fails, permanent rejections) resolve
+  /// synchronously on the Submission itself and never invoke the callback.
+  /// This is what lets the HTTP frontend hand a worker-completed answer
+  /// back to its event loop without ever parking a thread on a future.
+  Submission Submit(WhyNotRequest request, CompletionCallback on_complete);
 
   /// Stops the service. drain=true executes everything already queued;
   /// drain=false fails queued requests with kUnavailable and cancels
@@ -459,6 +480,11 @@ class WhyNotService {
     obs::Counter* answer_store_puts = nullptr;
   };
 
+  /// Submit's body. `on_complete` (never null; may hold an empty function)
+  /// is moved onto the Job -- and nulled out -- when the submission attaches
+  /// to admitted/in-flight work; left untouched for synchronous
+  /// resolutions, which the public wrapper delivers inline.
+  Submission SubmitImpl(WhyNotRequest request, CompletionCallback* on_complete);
   /// Registers every metric family and the mirror-gauge collector; runs
   /// once in the constructor before any thread starts.
   void RegisterMetrics();

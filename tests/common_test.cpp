@@ -1,11 +1,14 @@
 /// \file common_test.cpp
-/// \brief Unit tests for the common layer: strings, status, CSV, RNG, timers.
+/// \brief Unit tests for the common layer: strings, status, CSV, RNG,
+/// timers, and the shared JSON codec (escaping + hostile-input parsing).
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -245,6 +248,85 @@ TEST(Timer, StopwatchMonotone) {
   int64_t t2 = watch.ElapsedNanos();
   EXPECT_GE(t2, t1);
   EXPECT_GE(t1, 0);
+}
+
+// ---- json: the one shared escaper -------------------------------------------
+
+TEST(Json, EscapesExactlyLikeTheExpositionLayerAlwaysDid) {
+  // This is the contract obs/expose.cpp (metrics JSON goldens) depends on:
+  // backslash, quote, \n \t \r by name, every other control char as \u00XX,
+  // all other bytes verbatim. A change here breaks checked-in goldens.
+  EXPECT_EQ(json::Quote("plain"), "\"plain\"");
+  EXPECT_EQ(json::Quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json::Quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(json::Quote("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(json::Quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json::Quote("cr\rend"), "\"cr\\rend\"");
+  EXPECT_EQ(json::Quote(std::string("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  EXPECT_EQ(json::Quote("utf8 caf\xc3\xa9 ok"), "\"utf8 caf\xc3\xa9 ok\"");
+}
+
+TEST(Json, EscapeParseRoundTripsArbitraryBytes) {
+  std::string hostile;
+  for (int c = 1; c < 256; ++c) hostile += static_cast<char>(c);
+  auto parsed = json::Parse(json::Quote(hostile));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_string());
+  EXPECT_EQ(parsed->as_string(), hostile);
+}
+
+TEST(Json, ParsePreservesIntVsDouble) {
+  auto doc = json::Parse("{\"i\": 42, \"d\": 42.0, \"e\": 1e2, \"n\": -7}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_TRUE(doc->Find("i")->is_int());
+  EXPECT_EQ(doc->Find("i")->as_int(), 42);
+  EXPECT_TRUE(doc->Find("d")->is_double());
+  EXPECT_EQ(doc->Find("d")->as_double(), 42.0);
+  EXPECT_TRUE(doc->Find("e")->is_double());
+  EXPECT_TRUE(doc->Find("n")->is_int());
+  EXPECT_EQ(doc->Find("n")->as_int(), -7);
+}
+
+TEST(Json, ObjectsPreserveMemberOrder) {
+  auto doc = json::Parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_TRUE(doc.ok());
+  const auto& members = doc->as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, HostileInputsAreStatusNotCrash) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "\"unterminated", "{\"k\": }", "01", "+1",
+        "1.2.3", "tru", "nul", "\"bad \\x escape\"", "{\"a\": 1} trailing",
+        "\x80\xff", "[1, 2,]", "{\"a\" 1}"}) {
+    EXPECT_FALSE(json::Parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, DepthLimitBoundsRecursion) {
+  std::string deep(10'000, '[');
+  deep += std::string(10'000, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
+  // Within the limit, nesting is fine.
+  EXPECT_TRUE(json::Parse("[[[[[[[[[[1]]]]]]]]]]").ok());
+}
+
+TEST(Json, AppendDoubleRoundTripsAndHandlesNonFinite) {
+  std::string out;
+  json::AppendDouble(&out, 0.1);
+  auto back = json::Parse(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_double(), 0.1);  // %.17g is lossless for doubles
+  out.clear();
+  json::AppendDouble(&out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  json::AppendDouble(&out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
 }
 
 }  // namespace

@@ -52,7 +52,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +65,7 @@
 
 #include "common/atomic_file.h"
 #include "common/csv.h"
+#include "common/signal_drain.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -97,15 +97,10 @@ using ned::WhyNotRequest;
 using ned::WhyNotResponse;
 using ned::WhyNotService;
 
-/// Set by the SIGTERM/SIGINT handler; checked at cycle boundaries (parent)
-/// and in the serve loop (child, which then drains instead of dying).
-std::atomic<bool> g_stop{false};
-
-extern "C" void HandleStopSignal(int /*signo*/) {
-  g_stop.store(true, std::memory_order_relaxed);
-}
-
-bool StopRequested() { return g_stop.load(std::memory_order_relaxed); }
+/// SIGTERM/SIGINT via the shared common/signal_drain.h helper; checked at
+/// cycle boundaries (parent) and in the serve loop (child, which then
+/// drains instead of dying).
+bool StopRequested() { return ned::DrainRequested(); }
 
 struct Args {
   int cycles = 50;
@@ -258,8 +253,7 @@ ServiceOptions PersistentOptions(const std::string& dir) {
 // ---------------------------------------------------------------------------
 
 int RunChildServe(const std::string& dir, int cycle) {
-  std::signal(SIGTERM, HandleStopSignal);
-  std::signal(SIGINT, HandleStopSignal);
+  ned::InstallDrainSignalHandlers();
   Workload wl;
   if (!BuildWorkload(&wl)) return 2;
   WhyNotService service(wl.catalog, PersistentOptions(dir));
@@ -719,8 +713,7 @@ int RunKillBattery(const Args& args, const std::string& exe,
 }
 
 int RunParent(const Args& args) {
-  std::signal(SIGTERM, HandleStopSignal);
-  std::signal(SIGINT, HandleStopSignal);
+  ned::InstallDrainSignalHandlers();
   char exe_buf[4096];
   const ssize_t exe_len =
       ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);

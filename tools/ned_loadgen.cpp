@@ -1,0 +1,490 @@
+/// \file ned_loadgen.cpp
+/// \brief Wire-level load generator for the HTTP serving edge.
+///
+/// Drives real TCP connections against ned_serve (or any ned HTTP
+/// frontend): N client threads, each with one keep-alive connection,
+/// walking the 19 paper use cases and POSTing them as JSON wire bodies.
+/// Every logical request carries a stable idempotency key and is retried
+/// on 503 exactly as the protocol prescribes -- sleep Retry-After-Ms, then
+/// resubmit the same key -- so a run PASSes only if overload converges at
+/// the wire: every request eventually gets its answer, every response
+/// carries the key it was asked for (zero lost or crossed responses), and
+/// nothing crashes.
+///
+/// `--smoke` is the CI entry point: fork/exec ned_serve on an ephemeral
+/// port (parsed from its "listening on" stdout line), run a small load
+/// with a queue sized to force sheds, SIGTERM the child and require a
+/// clean drain (exit 0). `--out FILE` emits BENCH_net.json-shaped stats
+/// (requests, ok, retries, p50_ms, p99_ms).
+
+#include <arpa/inet.h>
+#include <libgen.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "datasets/use_cases.h"
+#include "net/http.h"
+#include "net/wire.h"
+#include "service/request.h"
+
+namespace {
+
+using ned::StatusCode;
+using ned::UseCase;
+using ned::WhyNotRequest;
+using ned::net::HttpResponse;
+using ned::net::ParseHttpResponse;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  int rounds = 3;  ///< passes over the 19 use cases per connection
+  int max_attempts = 200;
+  int64_t deadline_ms = 5'000;
+  int scale = 1;
+  /// Sets bypass_answer_cache on every request so repeats re-execute --
+  /// without it the content-addressed cache absorbs the load and nothing
+  /// sheds (smoke turns this on to force the 503/Retry-After path).
+  bool bypass_cache = false;
+  std::string out_path;
+  bool smoke = false;
+  std::string serve_bin;
+};
+
+struct Stats {
+  uint64_t requests = 0;  ///< logical requests completed (key answered)
+  uint64_t ok = 0;        ///< wire 200s whose body decoded with code OK
+  uint64_t retries = 0;   ///< 503-triggered resubmissions
+  uint64_t reconnects = 0;
+  uint64_t failures = 0;  ///< logical requests that never converged
+  std::vector<double> latencies_ms;  ///< submit -> answered, retries included
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx];
+}
+
+/// One blocking keep-alive client connection. The loadgen is the peer the
+/// server defends against, so it stays deliberately simple: blocking
+/// sockets, one request in flight.
+class Client {
+ public:
+  Client(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~Client() { Close(); }
+
+  bool Connect() {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Close();
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    buffer_.clear();
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendAll(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads exactly one response; false on EOF/error (caller reconnects).
+  bool ReadResponse(HttpResponse* out) {
+    char chunk[16 * 1024];
+    while (true) {
+      if (!buffer_.empty()) {
+        auto parsed = ParseHttpResponse(buffer_, out);
+        if (!parsed.ok()) return false;  // malformed server bytes: fatal
+        if (*parsed > 0) {
+          buffer_.erase(0, *parsed);
+          return true;
+        }
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  std::string buffer_;  ///< unconsumed bytes past the last response
+};
+
+int64_t RetryAfterMs(const HttpResponse& response) {
+  std::string_view ms = response.Header("retry-after-ms");
+  if (!ms.empty()) {
+    const int64_t v = std::atoll(std::string(ms).c_str());
+    if (v > 0) return v;
+  }
+  std::string_view secs = response.Header("retry-after");
+  if (!secs.empty()) {
+    const int64_t v = std::atoll(std::string(secs).c_str());
+    if (v > 0) return v * 1000;
+  }
+  return 5;
+}
+
+/// Runs `rounds` passes over the use cases on one connection; appends into
+/// `stats` under `mu`. Returns false if any logical request failed to
+/// converge or the server misbehaved.
+bool RunWorker(const Args& args, int worker_id,
+               const std::vector<const UseCase*>& cases, Stats* stats,
+               std::mutex* mu) {
+  Client client(args.host, args.port);
+  if (!client.Connect()) {
+    std::cerr << "loadgen[" << worker_id << "]: connect failed\n";
+    return false;
+  }
+  Stats local;
+  bool all_converged = true;
+  for (int round = 0; round < args.rounds; ++round) {
+    for (size_t ci = 0; ci < cases.size(); ++ci) {
+      const UseCase& uc = *cases[ci];
+      WhyNotRequest request;
+      request.key =
+          ned::StrCat("lg-", worker_id, "-", round, "-", uc.name);
+      request.db_name = uc.db_name;
+      request.sql = uc.sql;
+      request.question = uc.question;
+      request.client_id = ned::StrCat("loadgen-", worker_id);
+      request.deadline_ms = args.deadline_ms;
+      request.bypass_answer_cache = args.bypass_cache;
+      const std::string body = ned::net::RenderWhyNotRequestJson(request);
+      const std::string http = ned::StrCat(
+          "POST /v1/whynot HTTP/1.1\r\nHost: ", args.host,
+          "\r\nContent-Type: application/json\r\nContent-Length: ",
+          body.size(), "\r\n\r\n", body);
+
+      const auto start = std::chrono::steady_clock::now();
+      bool answered = false;
+      for (int attempt = 0; attempt < args.max_attempts && !answered;
+           ++attempt) {
+        if (!client.connected() && !client.Connect()) {
+          ++local.reconnects;
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        HttpResponse response;
+        if (!client.SendAll(http) || !client.ReadResponse(&response)) {
+          // Server closed (drain, slow-client cap, ...): reconnect and
+          // resubmit the same key -- idempotency makes this safe.
+          client.Close();
+          ++local.reconnects;
+          continue;
+        }
+        if (response.status == 503) {
+          ++local.retries;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(RetryAfterMs(response)));
+          continue;
+        }
+        if (response.status != 200) {
+          std::cerr << "loadgen[" << worker_id << "]: unexpected status "
+                    << response.status << " for " << uc.name << ": "
+                    << response.body << "\n";
+          break;
+        }
+        auto wire = ned::net::ParseWhyNotResponseJson(response.body);
+        if (!wire.ok()) {
+          std::cerr << "loadgen[" << worker_id
+                    << "]: undecodable response body: "
+                    << wire.status().ToString() << "\n";
+          break;
+        }
+        if (wire->key != request.key) {
+          std::cerr << "loadgen[" << worker_id << "]: response key mismatch: "
+                    << wire->key << " != " << request.key << "\n";
+          break;
+        }
+        if (wire->code != StatusCode::kOk) {
+          std::cerr << "loadgen[" << worker_id << "]: request " << uc.name
+                    << " resolved " << ned::StatusCodeName(wire->code) << ": "
+                    << wire->message << "\n";
+          break;
+        }
+        ++local.ok;
+        answered = true;
+      }
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (answered) {
+        ++local.requests;
+        local.latencies_ms.push_back(elapsed_ms);
+      } else {
+        ++local.failures;
+        all_converged = false;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(*mu);
+  stats->requests += local.requests;
+  stats->ok += local.ok;
+  stats->retries += local.retries;
+  stats->reconnects += local.reconnects;
+  stats->failures += local.failures;
+  stats->latencies_ms.insert(stats->latencies_ms.end(),
+                             local.latencies_ms.begin(),
+                             local.latencies_ms.end());
+  return all_converged;
+}
+
+/// Drives the load; returns 0 on full convergence.
+int RunLoad(const Args& args) {
+  auto registry = ned::UseCaseRegistry::Build(args.scale);
+  if (!registry.ok()) {
+    std::cerr << "loadgen: failed to build use cases: "
+              << registry.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<const UseCase*> cases;
+  for (const UseCase& uc : registry->use_cases()) cases.push_back(&uc);
+
+  Stats stats;
+  std::mutex mu;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(args.connections));
+  for (int w = 0; w < args.connections; ++w) {
+    workers.emplace_back([&, w]() {
+      if (!RunWorker(args, w, cases, &stats, &mu)) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const double p50 = Percentile(stats.latencies_ms, 0.50);
+  const double p99 = Percentile(stats.latencies_ms, 0.99);
+  std::cout << "loadgen: requests=" << stats.requests << " ok=" << stats.ok
+            << " retries=" << stats.retries
+            << " reconnects=" << stats.reconnects
+            << " failures=" << stats.failures << " p50_ms=" << p50
+            << " p99_ms=" << p99 << std::endl;
+
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path);
+    out << "{\n"
+        << "  \"benchmark\": \"net_loadgen\",\n"
+        << "  \"connections\": " << args.connections << ",\n"
+        << "  \"requests\": " << stats.requests << ",\n"
+        << "  \"ok\": " << stats.ok << ",\n"
+        << "  \"retries\": " << stats.retries << ",\n"
+        << "  \"reconnects\": " << stats.reconnects << ",\n"
+        << "  \"failures\": " << stats.failures << ",\n"
+        << "  \"p50_ms\": " << p50 << ",\n"
+        << "  \"p99_ms\": " << p99 << "\n"
+        << "}\n";
+  }
+
+  if (failed.load() != 0 || stats.failures != 0) {
+    std::cerr << "loadgen: FAIL -- " << stats.failures
+              << " request(s) never converged\n";
+    return 1;
+  }
+  const uint64_t expected = static_cast<uint64_t>(args.connections) *
+                            static_cast<uint64_t>(args.rounds) * cases.size();
+  if (stats.requests != expected) {
+    std::cerr << "loadgen: FAIL -- expected " << expected
+              << " answered requests, got " << stats.requests << "\n";
+    return 1;
+  }
+  std::cout << "loadgen: PASS -- all " << expected
+            << " requests answered, sheds converged at the wire" << std::endl;
+  return 0;
+}
+
+/// --smoke: spawn ned_serve on an ephemeral port, load it, drain it.
+int RunSmoke(Args args) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) {
+    std::perror("loadgen: pipe");
+    return 1;
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("loadgen: fork");
+    return 1;
+  }
+  if (child == 0) {
+    ::close(out_pipe[0]);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[1]);
+    // Tiny queue + small pool so the smoke run actually sheds: the retry
+    // loop (Retry-After-Ms) is exercised, not just the happy path.
+    ::execl(args.serve_bin.c_str(), args.serve_bin.c_str(), "--port", "0",
+            "--workers", "2", "--queue", "4", "--scale", "1",
+            "--deadline-ms", "10000", static_cast<char*>(nullptr));
+    std::perror("loadgen: execl ned_serve");
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+
+  // Parse "ned_serve: listening on 127.0.0.1:PORT" from the child's stdout.
+  std::string banner;
+  int port = 0;
+  char c;
+  while (port == 0 && ::read(out_pipe[0], &c, 1) == 1) {
+    if (c != '\n') {
+      banner += c;
+      continue;
+    }
+    const size_t at = banner.find("listening on ");
+    if (at != std::string::npos) {
+      const size_t colon = banner.rfind(':');
+      if (colon != std::string::npos) port = std::atoi(banner.c_str() + colon + 1);
+    }
+    banner.clear();
+  }
+  if (port == 0) {
+    std::cerr << "loadgen: never saw the listening banner from "
+              << args.serve_bin << "\n";
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  std::cout << "loadgen: smoke server on port " << port << std::endl;
+
+  args.port = port;
+  // More blocking clients than the child's capacity (2 workers + queue 4)
+  // and no answer-cache absorption: the opening burst must shed, so the
+  // smoke proves the 503 -> Retry-After-Ms -> resubmit loop converges.
+  args.connections = 12;
+  args.rounds = 2;
+  args.bypass_cache = true;
+  const int load_rc = RunLoad(args);
+
+  // Drain: SIGTERM must produce a clean exit 0 (readyz flip -> Drain ->
+  // flush -> exit), never a crash or a hang.
+  ::kill(child, SIGTERM);
+  int wait_status = 0;
+  ::waitpid(child, &wait_status, 0);
+  ::close(out_pipe[0]);
+  const bool clean =
+      WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0;
+  if (!clean) {
+    std::cerr << "loadgen: FAIL -- ned_serve did not drain cleanly (status "
+              << wait_status << ")\n";
+    return 1;
+  }
+  std::cout << "loadgen: smoke drain clean" << std::endl;
+  return load_rc;
+}
+
+void Usage() {
+  std::cerr
+      << "ned_loadgen: wire-level load generator for the HTTP frontend\n"
+         "  --host H            server address (default 127.0.0.1)\n"
+         "  --port N            server port (required unless --smoke)\n"
+         "  --connections N     concurrent client connections (default 4)\n"
+         "  --rounds N          passes over the 19 use cases (default 3)\n"
+         "  --max-attempts N    retry budget per request (default 200)\n"
+         "  --deadline-ms N     per-request deadline (default 5000)\n"
+         "  --scale N           dataset scale for request bodies (default 1)\n"
+         "  --bypass-cache      set bypass_answer_cache on every request\n"
+         "  --out FILE          write BENCH_net.json-shaped stats\n"
+         "  --smoke             spawn ned_serve, load it, SIGTERM, check exit\n"
+         "  --serve-bin PATH    ned_serve binary for --smoke\n"
+         "                      (default: <dir of ned_loadgen>/ned_serve)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      args.host = v;
+    } else if (arg == "--port" && (v = next())) {
+      args.port = std::atoi(v);
+    } else if (arg == "--connections" && (v = next())) {
+      args.connections = std::atoi(v);
+    } else if (arg == "--rounds" && (v = next())) {
+      args.rounds = std::atoi(v);
+    } else if (arg == "--max-attempts" && (v = next())) {
+      args.max_attempts = std::atoi(v);
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      args.deadline_ms = std::atoll(v);
+    } else if (arg == "--scale" && (v = next())) {
+      args.scale = std::atoi(v);
+    } else if (arg == "--bypass-cache") {
+      args.bypass_cache = true;
+    } else if (arg == "--out" && (v = next())) {
+      args.out_path = v;
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--serve-bin" && (v = next())) {
+      args.serve_bin = v;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (args.smoke) {
+    if (args.serve_bin.empty()) {
+      std::string self(argv[0]);
+      std::vector<char> copy(self.begin(), self.end());
+      copy.push_back('\0');
+      args.serve_bin = ned::StrCat(::dirname(copy.data()), "/ned_serve");
+    }
+    return RunSmoke(args);
+  }
+  if (args.port == 0) {
+    Usage();
+    return 2;
+  }
+  return RunLoad(args);
+}

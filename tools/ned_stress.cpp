@@ -48,7 +48,7 @@
 /// normal shutdown; `--crash-after-ms N` SIGKILLs the process mid-chaos so
 /// ned_crashtest can prove kill-and-recover exactly-once on a real process.
 
-#include <csignal>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/signal_drain.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "datasets/use_cases.h"
@@ -98,19 +99,12 @@ using ned::WhyNotService;
 constexpr int kHotClients = 3;
 constexpr size_t kPerClientLimit = 1;
 
-/// Set by the SIGTERM/SIGINT handler. Loops poll it alongside the horizon so
-/// an operator signal stops new submissions promptly; the main thread then
-/// runs a graceful Drain (finish in-flight, journal the rest as recoverable)
-/// instead of the full-drain Shutdown.
-std::atomic<bool> g_drain_requested{false};
-
-extern "C" void HandleDrainSignal(int /*signo*/) {
-  g_drain_requested.store(true, std::memory_order_relaxed);
-}
-
-bool StopRequested() {
-  return g_drain_requested.load(std::memory_order_relaxed);
-}
+/// SIGTERM/SIGINT -> graceful drain: the shared helper in
+/// common/signal_drain.h owns the handler; loops poll it alongside the
+/// horizon so an operator signal stops new submissions promptly, and the
+/// main thread then runs a graceful Drain (finish in-flight, journal the
+/// rest as recoverable) instead of the full-drain Shutdown.
+bool StopRequested() { return ned::DrainRequested(); }
 
 struct Args {
   int clients = 8;
@@ -590,10 +584,9 @@ int Run(const Args& args) {
   }
 
   // Operator signals request a graceful drain instead of a hard stop; the
-  // loops poll g_drain_requested and the main thread picks the shutdown
+  // loops poll the shared drain flag and the main thread picks the shutdown
   // flavor below.
-  std::signal(SIGTERM, HandleDrainSignal);
-  std::signal(SIGINT, HandleDrainSignal);
+  ned::InstallDrainSignalHandlers();
   if (args.crash_after_ms > 0) {
     // A real, uncatchable crash at an arbitrary point mid-chaos. Detached:
     // if the run outlives the timer something went wrong anyway.
